@@ -1,0 +1,33 @@
+"""Figures 2-6: estimated vs. true error for the five presented applications.
+
+Each benchmark regenerates one figure: NN-E / NN-S / LR-B true error plus
+their cross-validation estimates across 1-5% sampling of the 4608-point
+design space, exactly the series the paper plots per application.
+"""
+
+import pytest
+
+from repro.core import SAMPLED_DSE_MODELS, figure_sampled_series
+from repro.simulator import PRESENTED_APPS
+
+FIGURE_OF = {"applu": 2, "equake": 3, "gcc": 4, "mcf": 5, "mesa": 6}
+
+
+@pytest.mark.parametrize("app", PRESENTED_APPS)
+def test_fig_sampled(app, benchmark, dse_cache, emit):
+    results = benchmark.pedantic(dse_cache, args=(app,), rounds=1, iterations=1)
+    text = figure_sampled_series(app, results, SAMPLED_DSE_MODELS)
+    emit(f"fig{FIGURE_OF[app]}_{app}", f"[Figure {FIGURE_OF[app]}] {text}")
+
+    # Shape assertions mirroring the paper's qualitative claims (§4.2).
+    first, last = results[0], results[-1]
+    # Errors bounded: the paper's figure axes top out at 3-14% per app.
+    for res in results:
+        for outcome in res.outcomes.values():
+            assert outcome.true_error < 25.0
+    # NN-E improves (or holds) as the sampling rate grows 1% -> 5%.
+    assert last.outcomes["NN-E"].true_error <= first.outcomes["NN-E"].true_error + 1.0
+    # CV estimates land in the same regime as the true errors.
+    for res in results:
+        o = res.outcomes["NN-E"]
+        assert o.estimated_error_max <= 6 * max(o.true_error, 1.0)

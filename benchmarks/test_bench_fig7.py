@@ -1,0 +1,29 @@
+"""Figure 7: chronological predictions for Xeon / Pentium 4 / Pentium D.
+
+All nine models (LR-E/S/B/F, NN-Q/D/M/P/E) train on the 2005 announcements
+and predict 2006; the regenerated table reports each model's mean ± std
+percentage error, the quantities the paper's error-bar plots show.
+"""
+
+import pytest
+
+from repro.core import figure_chronological_table
+
+PANEL = {"xeon": "7a", "pentium-4": "7b", "pentium-d": "7c"}
+
+
+@pytest.mark.parametrize("family", ["xeon", "pentium-4", "pentium-d"])
+def test_fig7_chronological(family, benchmark, chrono_cache, emit):
+    result = benchmark.pedantic(chrono_cache, args=(family,), rounds=1, iterations=1)
+    emit(f"fig{PANEL[family]}_{family}",
+         f"[Figure {PANEL[family]}] {figure_chronological_table(result)}")
+
+    errors = result.mean_errors()
+    # §4.3: "Linear Regression models perform better than Neural Networks".
+    best_lr = min(v for k, v in errors.items() if k.startswith("LR"))
+    best_nn = min(v for k, v in errors.items() if k.startswith("NN"))
+    assert best_lr <= best_nn
+    # Table 2 regime: best error a few percent (allow 2.5x the paper).
+    assert result.best_error < 12.0
+    # The winning model is a linear regression, as in Table 2.
+    assert result.best_label.startswith("LR")

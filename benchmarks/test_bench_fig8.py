@@ -1,0 +1,40 @@
+"""Figure 8: chronological predictions for Opteron 1/2/4/8-way SMPs.
+
+The paper's multiprocessor findings: minimum errors rise slightly with the
+processor count (2.1 → 3.1 → 3.2 → 3.5%), the winners are the stepwise /
+backward LR methods, and the neural networks degrade as systems grow.
+"""
+
+import pytest
+
+from repro.core import figure_chronological_table
+
+PANEL = {"opteron": "8a", "opteron-2": "8b", "opteron-4": "8c", "opteron-8": "8d"}
+
+
+@pytest.mark.parametrize("family", list(PANEL))
+def test_fig8_chronological(family, benchmark, chrono_cache, emit):
+    result = benchmark.pedantic(chrono_cache, args=(family,), rounds=1, iterations=1)
+    emit(f"fig{PANEL[family]}_{family}",
+         f"[Figure {PANEL[family]}] {figure_chronological_table(result)}")
+
+    errors = result.mean_errors()
+    best_lr = min(v for k, v in errors.items() if k.startswith("LR"))
+    best_nn = min(v for k, v in errors.items() if k.startswith("NN"))
+    assert best_lr <= best_nn
+    assert result.best_label.startswith("LR")
+    assert result.best_error < 10.0
+
+
+def test_fig8_smp_trends(chrono_cache, emit):
+    """Cross-panel assertions over the whole Opteron line."""
+    results = {f: chrono_cache(f) for f in PANEL}
+    lines = ["Figure 8 summary (best mean %error per way count)"]
+    for fam, res in results.items():
+        lines.append(f"{fam:10s} best={res.best_error:.2f} ({res.best_label})")
+    emit("fig8_summary", "\n".join(lines))
+
+    # §4.3: on the sparse 8-way set the subset-selection methods (LR-S/LR-B)
+    # beat plain enter (LR-E).
+    opt8 = results["opteron-8"].mean_errors()
+    assert min(opt8["LR-S"], opt8["LR-B"]) <= opt8["LR-E"]

@@ -1,0 +1,61 @@
+"""§4.4 importance analysis: NN sensitivities and LR standardized betas.
+
+The paper reports, for Opteron, NN importances led by processor speed
+(0.659) with memory frequency / L2-on-chip / L1D size following, and LR
+standardized betas of 0.915 (speed) and 0.119 (memory size); for Pentium D,
+speed (0.570) and L2 size (0.500) lead the NN list while LR uses speed
+(0.733) and L2 size (0.583).
+"""
+
+import pytest
+
+from repro.core import build_model
+from repro.core.chronological import chronological_datasets
+from repro.specdata import generate_family_records
+from repro.util.tables import format_kv
+
+SEED = 2008
+
+
+@pytest.mark.parametrize("family", ["opteron", "pentium-d"])
+def test_importance_analysis(family, benchmark, emit):
+    records = generate_family_records(family, seed=SEED)
+    train, _ = chronological_datasets(family, records=records)
+
+    def build():
+        lr = build_model("LR-E").fit(train)
+        nn = build_model("NN-Q", seed=SEED).fit(train)
+        return lr, nn
+
+    lr, nn = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    betas = {k: abs(v) for k, v in lr.standardized_betas.items()}
+    imps = dict(list(nn.importances().items())[:8])
+    text = "\n".join([
+        f"[Sec 4.4] importance analysis - {family}",
+        format_kv(dict(sorted(betas.items(), key=lambda kv: -kv[1])[:8]),
+                  title="LR-E |standardized beta|"),
+        format_kv(imps, title="NN-Q sensitivity importance"),
+    ])
+    emit(f"importance_{family}", text)
+
+    # LR: speed and (for Pentium D) L2 size carry the dominant standardized
+    # betas — the paper's pairs are 0.915/0.119 (Opteron: speed/memory) and
+    # 0.733/0.583 (Pentium D: speed/L2, nearly tied).
+    top2 = sorted(betas, key=betas.get, reverse=True)[:2]
+    if family == "opteron":
+        assert top2[0] == "processor_speed"
+    else:
+        assert "processor_speed" in top2 and "l2_size" in top2
+    assert betas["processor_speed"] > 0.3
+    # NN: the dominant physical signal leads the sensitivity list — speed
+    # for Opteron; for Pentium D the 2x L2-size axis outweighs its narrow
+    # 1.2x clock window (the paper scores them 0.570 vs 0.500, nearly tied).
+    ranked = list(nn.importances())
+    speed_rank = min(ranked.index(k) for k in ("processor_speed", "processor_model")
+                     if k in ranked)
+    if family == "opteron":
+        assert speed_rank < 4
+    else:
+        assert ranked.index("l2_size") < 3
+        assert speed_rank < 6

@@ -1,0 +1,45 @@
+"""Parallel-executor scaling ablation for the design-space sweep.
+
+The interval model makes a single sweep cheap, but the same executor fans
+out detailed simulations and model batteries; this benchmark records the
+serial vs process-pool cost of a representative CPU-bound task fan-out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ProcessExecutor, SerialExecutor
+
+
+def _simulate_chunk(seed: int) -> float:
+    """A CPU-bound stand-in task (~small detailed-simulation slice)."""
+    rng = np.random.default_rng(seed)
+    acc = 0.0
+    x = rng.random(20_000)
+    for _ in range(40):
+        acc += float(np.sin(x).sum())
+        x = (x * 1.000001) % 1.0
+    return acc
+
+
+TASKS = list(range(16))
+
+
+def test_bench_serial_fanout(benchmark):
+    results = benchmark.pedantic(
+        lambda: SerialExecutor().map(_simulate_chunk, TASKS),
+        rounds=1, iterations=1,
+    )
+    assert len(results) == len(TASKS)
+
+
+def test_bench_process_fanout(benchmark):
+    with ProcessExecutor() as ex:
+        ex.map(_simulate_chunk, TASKS[:1])  # warm the pool outside timing
+        results = benchmark.pedantic(
+            lambda: ex.map(_simulate_chunk, TASKS),
+            rounds=1, iterations=1,
+        )
+    assert len(results) == len(TASKS)
+    serial = SerialExecutor().map(_simulate_chunk, TASKS)
+    np.testing.assert_allclose(results, serial)

@@ -1,0 +1,72 @@
+"""§4.1 data profiles: regenerate the paper's count/range/variation rows.
+
+The paper characterizes every data set before modeling it: per simulated
+application, "the range of the simulated execution cycles (i.e., the ratio
+of the fastest to slowest configuration) and the variance:
+Applu/1.62/0.16, Equake/1.73/0.19, Gcc/5.27/0.33, Mesa/2.22/0.19,
+Mcf/6.38/0.71"; per processor family, records/range/variation such as
+"Opteron based systems has 138 records with a range of 1.40 times ... and
+variation of 0.08".
+"""
+
+from repro.simulator import PRESENTED_APPS, get_profile, sweep_design_space
+from repro.specdata import FAMILY_ORDER, generate_family_records
+from repro.util.stats import profile_responses
+from repro.util.tables import format_table
+
+SEED = 2008
+
+PAPER_APPS = {
+    "applu": (1.62, 0.16), "equake": (1.73, 0.19), "gcc": (5.27, 0.33),
+    "mesa": (2.22, 0.19), "mcf": (6.38, 0.71),
+}
+PAPER_FAMILIES = {
+    "xeon": (216, 1.34, 0.09), "pentium-4": (66, 3.72, 0.34),
+    "pentium-d": (71, 1.45, 0.10), "opteron": (138, 1.40, 0.08),
+    "opteron-2": (152, 1.58, 0.11), "opteron-4": (158, 1.70, 0.12),
+    "opteron-8": (58, 1.68, 0.13),
+}
+
+
+def test_section41_simulation_profiles(benchmark, design_space, emit):
+    def run():
+        return {
+            app: profile_responses(sweep_design_space(design_space, get_profile(app)))
+            for app in PRESENTED_APPS
+        }
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [app, p.range, PAPER_APPS[app][0], p.variation, PAPER_APPS[app][1]]
+        for app, p in profiles.items()
+    ]
+    emit("section41_simulation", format_table(
+        ["app", "range", "paper", "variation", "paper "],
+        rows, title="[Sec 4.1] simulated cycle profiles (4608 configs)",
+    ))
+    # Cross-app ordering must match the paper exactly.
+    ranges = {a: p.range for a, p in profiles.items()}
+    assert ranges["mcf"] > ranges["gcc"] > ranges["mesa"]
+    assert ranges["mesa"] > ranges["equake"] > ranges["applu"]
+
+
+def test_section41_family_profiles(benchmark, emit):
+    def run():
+        out = {}
+        for fam in FAMILY_ORDER:
+            rates = [r.specint_rate for r in generate_family_records(fam, seed=SEED)]
+            out[fam] = profile_responses(rates)
+        return out
+
+    profiles = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [fam, p.count, PAPER_FAMILIES[fam][0], p.range, PAPER_FAMILIES[fam][1],
+         p.variation, PAPER_FAMILIES[fam][2]]
+        for fam, p in profiles.items()
+    ]
+    emit("section41_families", format_table(
+        ["family", "n", "paper", "range", "paper ", "CV", "paper  "],
+        rows, title="[Sec 4.1] SPEC announcement profiles per family",
+    ))
+    for fam, p in profiles.items():
+        assert p.count == PAPER_FAMILIES[fam][0], fam

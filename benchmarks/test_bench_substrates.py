@@ -1,0 +1,97 @@
+"""Substrate micro-benchmarks: throughput of the building blocks.
+
+These use pytest-benchmark's normal repeated timing (they are fast), giving
+a performance-regression baseline for the simulator and ML kernels.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.network import MLP
+from repro.ml.nn.training import TrainingConfig, train
+from repro.simulator import (
+    Cache,
+    enumerate_design_space,
+    generate_trace,
+    get_profile,
+    make_predictor,
+    simulate_predictor,
+    sweep_design_space,
+)
+from repro.simulator.simpoint import kmeans
+
+SEED = 2008
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return list(enumerate_design_space())
+
+
+def test_bench_interval_sweep(benchmark, configs):
+    """Full 4608-config interval-model sweep (the paper's 'simulate all')."""
+    prof = get_profile("mcf")
+    cycles = benchmark(lambda: sweep_design_space(configs, prof))
+    assert cycles.shape == (4608,)
+
+
+def test_bench_trace_generation(benchmark):
+    """Synthetic trace generation throughput (100k instructions)."""
+    prof = get_profile("gcc")
+    trace = benchmark.pedantic(
+        lambda: generate_trace(prof, 100_000, seed=SEED), rounds=3, iterations=1
+    )
+    assert len(trace) == 100_000
+
+
+def test_bench_cache_stream(benchmark):
+    """Detailed L1 simulation throughput (100k accesses)."""
+    rng = np.random.default_rng(SEED)
+    addrs = (rng.zipf(1.3, 100_000) * 32 % (1 << 26)).astype(np.uint64)
+
+    def run():
+        cache = Cache(32 * 1024, 32, 4)
+        return cache.access_stream(addrs)
+
+    hits = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert hits.shape == (100_000,)
+
+
+def test_bench_branch_predictor(benchmark):
+    """Combining-predictor simulation throughput (50k branches)."""
+    trace = generate_trace(get_profile("gcc"), 250_000, seed=SEED)
+    mask = trace.branch_mask
+    pcs, taken = trace.pc[mask], trace.taken[mask]
+
+    def run():
+        return simulate_predictor(make_predictor("combining"), pcs, taken)
+
+    miss = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert 0.0 < miss.mean() < 0.5
+
+
+def test_bench_nn_training(benchmark):
+    """Rprop training of a mid-size MLP (200 x 24 samples, 500 epochs)."""
+    rng = np.random.default_rng(SEED)
+    X = rng.random((200, 24))
+    y = 0.2 + 0.5 * X[:, 0] * X[:, 1] + 0.2 * X[:, 2]
+
+    def run():
+        net = MLP([24, 28, 1], np.random.default_rng(SEED))
+        train(net, X, y, TrainingConfig(max_epochs=500))
+        return net.loss(X, y)
+
+    loss = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert loss < 1e-3
+
+
+def test_bench_kmeans(benchmark):
+    """k-means over SimPoint-scale BBV projections (500 x 15, k=8)."""
+    rng = np.random.default_rng(SEED)
+    X = rng.random((500, 15))
+
+    def run():
+        return kmeans(X, 8, np.random.default_rng(SEED))
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.k == 8

@@ -1,0 +1,23 @@
+"""Table 2: best chronological accuracy and winning method per family.
+
+Paper values: Xeon 2.1 (LR-E), Pentium D 2.2 (LR-E), Pentium 4 1.5 (LR-E),
+Opteron 2.1 (LR-B/LR-S), Opteron-2 3.1, Opteron-4 3.2, Opteron-8 3.5
+(all LR-B/LR-S).
+"""
+
+from repro.core import table2
+from repro.specdata import FAMILY_ORDER
+
+
+def test_table2(benchmark, chrono_cache, emit):
+    def build():
+        return {fam: chrono_cache(fam) for fam in FAMILY_ORDER}
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table2", f"[Table 2] {table2(results)}")
+
+    for fam, res in results.items():
+        # Every family's winner is a linear-regression method (Table 2).
+        assert res.best_label.startswith("LR"), fam
+        # Best errors land in the paper's 1.5-3.5% regime (allow ~2.5x).
+        assert res.best_error < 9.0, fam

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Which system parameters drive performance? (paper §4.4)
+
+Fits a neural network and a linear regression on a family's 2005
+announcements and prints the NN sensitivity importances (0 = no effect,
+1 = fully determines the prediction) next to the LR standardized betas —
+the two importance notions the paper compares (e.g. Opteron: NN speed
+0.659 / memory frequency 0.154; LR speed 0.915 / memory size 0.119).
+
+Also demonstrates importance on the *simulation* side: which Table-1
+microarchitecture parameters matter for a memory-bound (mcf) vs a
+compute-bound (applu) workload.
+
+Run: ``python examples/importance_analysis.py [family]`` (default: opteron)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import build_model
+from repro.core.chronological import chronological_datasets
+from repro.simulator import (
+    design_space_dataset,
+    enumerate_design_space,
+    get_profile,
+    sweep_design_space,
+)
+from repro.specdata import generate_family_records
+from repro.util.tables import format_kv
+
+
+def system_importances(family: str) -> None:
+    records = generate_family_records(family, seed=9)
+    train, _ = chronological_datasets(family, records=records)
+
+    lr = build_model("LR-E").fit(train)
+    betas = dict(sorted(
+        ((k, abs(v)) for k, v in lr.standardized_betas.items()),
+        key=lambda kv: -kv[1])[:8])
+    print(format_kv(betas, title=f"{family}: LR-E |standardized beta| (top 8)"))
+
+    nn = build_model("NN-Q", seed=9).fit(train)
+    imps = dict(list(nn.importances().items())[:8])
+    print()
+    print(format_kv(imps, title=f"{family}: NN-Q sensitivity importance (top 8)"))
+    print()
+
+
+def microarch_importances(app: str) -> None:
+    configs = list(enumerate_design_space())
+    cycles = sweep_design_space(configs, get_profile(app))
+    space = design_space_dataset(configs, cycles)
+    sample, _ = space.sample(230, np.random.default_rng(3))  # 5% of the space
+    nn = build_model("NN-Q", seed=3).fit(sample)
+    imps = dict(list(nn.importances().items())[:6])
+    print(format_kv(imps, title=f"{app}: NN importance over Table-1 parameters (top 6)"))
+    print()
+
+
+def main() -> None:
+    family = sys.argv[1] if len(sys.argv) > 1 else "opteron"
+    print("=" * 70)
+    print(f"System-level importance analysis: {family}")
+    print("=" * 70)
+    system_importances(family)
+
+    print("=" * 70)
+    print("Microarchitecture-level importance (sampled design space)")
+    print("=" * 70)
+    for app in ("mcf", "applu"):
+        microarch_importances(app)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: predict a whole design space from a 1% sample.
+
+This is the paper's headline result in miniature (§4.2 / Figure 1a):
+
+1. enumerate the 4608-configuration microprocessor design space (Table 1),
+2. "simulate" all of it for one SPEC CPU2000 application (ground truth),
+3. randomly sample 1% (46 configurations) as the training set,
+4. train the best neural network (NN-E, exhaustive prune) and the best
+   linear regression (LR-B, backward elimination),
+5. predict the remaining 99% and report the true error.
+
+Run: ``python examples/quickstart.py [app]`` (default: mcf)
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import build_model
+from repro.simulator import (
+    design_space_dataset,
+    enumerate_design_space,
+    get_profile,
+    sweep_design_space,
+)
+from repro.util.stats import mean_absolute_percentage_error, profile_responses
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    profile = get_profile(app)
+    print(f"Workload: {app} ({profile.description})")
+
+    # 1-2. The design space and its ground-truth cycles.
+    configs = list(enumerate_design_space())
+    t0 = time.time()
+    cycles = sweep_design_space(configs, profile)
+    stats = profile_responses(cycles)
+    print(f"Simulated {len(configs)} configurations in {time.time() - t0:.1f}s "
+          f"(range {stats.range:.2f}x, variation {stats.variation:.2f})")
+    space = design_space_dataset(configs, cycles)
+
+    # 3. Sample 1% of the space — all a designer would have to simulate.
+    rng = np.random.default_rng(42)
+    sample, _ = space.sample(46, rng)
+    print(f"Training on {sample.n_records} sampled configurations (1%)\n")
+
+    # 4-5. Train, predict everything, score against ground truth.
+    for label in ("NN-E", "LR-B"):
+        t0 = time.time()
+        model = build_model(label, seed=1).fit(sample)
+        err = mean_absolute_percentage_error(model.predict(space), space.target)
+        print(f"{label}: true error over all 4608 configs = {err:5.2f}%  "
+              f"(accuracy {100 - err:.2f}%)  [{time.time() - t0:.1f}s]")
+
+    print("\nThe paper reports ~3.5% average error at 1% sampling — a "
+          "designer can rank the whole space after simulating 1% of it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of Ozisikyilmaz, Memik & Choudhary, "Machine
+Learning Models to Predict Performance of Computer System Design
+Alternatives" (ICPP 2008).
+
+Public API layers:
+
+* :mod:`repro.ml` — the predictive-modeling substrate: typed datasets,
+  Clementine-style preparation, the four linear-regression and six
+  neural-network methods, cross-validation error estimation, and the
+  "select" meta-method.
+* :mod:`repro.simulator` — the SimpleScalar-analogue CPU simulator: the
+  4608-configuration Table-1 design space, statistical SPEC CPU2000
+  workload models, a closed-form interval fast path and a detailed
+  trace-driven reference path, and SimPoint.
+* :mod:`repro.specdata` — the synthetic SPEC announcement archive with the
+  32-parameter record schema and geometric-mean ratings.
+* :mod:`repro.core` — the paper's two workflows: sampled design-space
+  exploration (Figures 2-6, Table 3) and chronological prediction
+  (Figures 7-8, Table 2).
+* :mod:`repro.parallel`, :mod:`repro.util` — execution and support
+  substrates.
+"""
+
+from repro import core, ml, parallel, simulator, specdata, util
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "ml", "parallel", "simulator", "specdata", "util", "__version__"]

@@ -1,0 +1,172 @@
+"""Command-line interface: run the paper's workflows from a shell.
+
+Subcommands
+-----------
+``sweep``
+    Simulate the full Table-1 design space for one application and print
+    its cycle profile (the §4.1 range/variation row).
+``sampled-dse``
+    The Figure 1a workflow: sample, train, cross-validate, report
+    estimated vs true error per model per rate.
+``chronological``
+    The Figure 1b workflow: train on year Y announcements, predict year
+    Y+1, report per-model errors.
+``importance``
+    The §4.4 analysis: NN sensitivity importances and LR standardized
+    betas for one processor family.
+
+Examples
+--------
+::
+
+    python -m repro sweep mcf
+    python -m repro sampled-dse gcc --rates 0.01 0.05 --models NN-E LR-B
+    python -m repro chronological opteron-8 --models LR-E LR-S NN-Q
+    python -m repro importance pentium-d
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core import (
+    ALL_MODELS,
+    NINE_MODELS,
+    SAMPLED_DSE_MODELS,
+    build_model,
+    figure_chronological_table,
+    figure_sampled_series,
+    model_builders,
+    run_chronological,
+    run_rate_sweep,
+)
+from repro.core.chronological import chronological_datasets
+from repro.simulator import (
+    SPEC2000_PROFILES,
+    design_space_dataset,
+    enumerate_design_space,
+    get_profile,
+    sweep_design_space,
+)
+from repro.specdata import FAMILY_ORDER, generate_family_records
+from repro.util.stats import profile_responses
+from repro.util.tables import format_kv
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'ML Models to Predict Performance of "
+                    "Computer System Design Alternatives' (ICPP 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sweep", help="simulate the full design space for one app")
+    p.add_argument("app", choices=sorted(SPEC2000_PROFILES))
+    _add_common(p)
+
+    p = sub.add_parser("sampled-dse", help="Figure 1a: sampled design-space exploration")
+    p.add_argument("app", choices=sorted(SPEC2000_PROFILES))
+    p.add_argument("--rates", type=float, nargs="+", default=[0.01, 0.03, 0.05])
+    p.add_argument("--models", nargs="+", default=list(SAMPLED_DSE_MODELS),
+                   choices=sorted(ALL_MODELS))
+    p.add_argument("--cv-reps", type=int, default=5)
+    _add_common(p)
+
+    p = sub.add_parser("chronological", help="Figure 1b: predict next year's systems")
+    p.add_argument("family", choices=list(FAMILY_ORDER))
+    p.add_argument("--train-year", type=int, default=2005)
+    p.add_argument("--test-year", type=int, default=2006)
+    p.add_argument("--models", nargs="+", default=list(NINE_MODELS),
+                   choices=sorted(ALL_MODELS))
+    p.add_argument("--target", default="specint_rate",
+                   help="specint_rate, specfp_rate, or app:<name>")
+    _add_common(p)
+
+    p = sub.add_parser("importance", help="Sec 4.4: parameter importance analysis")
+    p.add_argument("family", choices=list(FAMILY_ORDER))
+    p.add_argument("--year", type=int, default=2005)
+    p.add_argument("--top", type=int, default=8)
+    _add_common(p)
+
+    return parser
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    configs = list(enumerate_design_space())
+    cycles = sweep_design_space(configs, get_profile(args.app))
+    prof = profile_responses(cycles)
+    print(f"{args.app}: {len(configs)} configurations")
+    print(f"  cycle range (best/worst)   : {prof.range:.2f}x")
+    print(f"  variation (std/mean)       : {prof.variation:.3f}")
+    print(f"  fastest configuration      : {configs[int(np.argmin(cycles))].short_label()}")
+    print(f"  slowest configuration      : {configs[int(np.argmax(cycles))].short_label()}")
+    return 0
+
+
+def _cmd_sampled_dse(args: argparse.Namespace) -> int:
+    configs = list(enumerate_design_space())
+    cycles = sweep_design_space(configs, get_profile(args.app))
+    space = design_space_dataset(configs, cycles)
+    builders = model_builders(tuple(args.models), seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    results = run_rate_sweep(space, builders, args.rates, rng,
+                             n_cv_reps=args.cv_reps)
+    print(figure_sampled_series(args.app, results, args.models))
+    return 0
+
+
+def _cmd_chronological(args: argparse.Namespace) -> int:
+    records = generate_family_records(args.family, seed=args.seed)
+    builders = model_builders(tuple(args.models), seed=args.seed)
+    result = run_chronological(
+        args.family, builders, args.train_year, args.test_year,
+        seed=args.seed, target=args.target, records=records,
+    )
+    print(figure_chronological_table(result))
+    print(f"\nbest: {result.best_label} at {result.best_error:.2f}%")
+    return 0
+
+
+def _cmd_importance(args: argparse.Namespace) -> int:
+    records = generate_family_records(args.family, seed=args.seed)
+    train, _ = chronological_datasets(
+        args.family, args.year, args.year + 1, records=records)
+    lr = build_model("LR-E").fit(train)
+    betas = dict(sorted(((k, abs(v)) for k, v in lr.standardized_betas.items()),
+                        key=lambda kv: -kv[1])[:args.top])
+    print(format_kv(betas, title=f"{args.family}: LR-E |standardized beta|"))
+    nn = build_model("NN-Q", seed=args.seed).fit(train)
+    imps = dict(list(nn.importances().items())[:args.top])
+    print()
+    print(format_kv(imps, title=f"{args.family}: NN-Q sensitivity importance"))
+    return 0
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "sampled-dse": _cmd_sampled_dse,
+    "chronological": _cmd_chronological,
+    "importance": _cmd_importance,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Assemble paper-shaped tables and figure series from workflow results.
+
+The benchmark harness prints these: Figures 2-6 (estimated vs true error
+per sampling rate), Figures 7-8 (per-model mean ± std chronological error),
+Table 2 (best accuracy + winning method per family), Table 3 (average
+sampled-DSE error per method per rate, plus the select row).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.chronological import ChronologicalResult
+from repro.core.sampled import SampledDseResult
+from repro.util.tables import format_series, format_table
+
+__all__ = [
+    "figure_sampled_series",
+    "figure_chronological_table",
+    "table2",
+    "table3",
+]
+
+
+def figure_sampled_series(
+    app: str,
+    results: Sequence[SampledDseResult],
+    labels: Sequence[str],
+) -> str:
+    """Figures 2-6: estimated vs true error curves for one application."""
+    rates = [f"{r.rate:.0%}" for r in results]
+    series: dict[str, list[float]] = {}
+    for label in labels:
+        series[label] = [r.outcomes[label].true_error for r in results]
+        series[f"{label}-est"] = [r.outcomes[label].estimated_error_max for r in results]
+    series["select"] = [r.select_true_error for r in results]
+    return format_series(
+        "sample", rates, series,
+        title=f"Model Error - {app} (mean % error; -est = CV estimate)",
+    )
+
+
+def figure_chronological_table(result: ChronologicalResult) -> str:
+    """Figures 7-8: per-model mean ± std future-year error for one family."""
+    rows = []
+    for label, summary in result.errors.items():
+        rows.append([label, summary.mean, summary.std, summary.max])
+    return format_table(
+        ["model", "mean%err", "std", "max"],
+        rows,
+        title=(
+            f"Chronological Predictions - {result.family} "
+            f"({result.train_year} -> {result.test_year}, "
+            f"n={result.n_train}/{result.n_test})"
+        ),
+    )
+
+
+def table2(results: Mapping[str, ChronologicalResult]) -> str:
+    """Table 2: best accuracy and winning method per family."""
+    rows = []
+    for family, res in results.items():
+        rows.append([family, res.best_error, res.best_label])
+    return format_table(
+        ["family", "best mean%err", "method"],
+        rows,
+        title="Table 2: best chronological accuracy per family",
+        ndigits=1,
+    )
+
+
+def table3(
+    per_app_results: Mapping[str, Sequence[SampledDseResult]],
+    labels: Sequence[str],
+) -> str:
+    """Table 3: per-method average true error across applications per rate.
+
+    The last row is the select meta-method — "the error rates that would be
+    achieved if the method that gives the best result on the estimation is
+    used for predicting the whole data set".
+    """
+    apps = list(per_app_results)
+    if not apps:
+        raise ValueError("no results given")
+    n_rates = {len(v) for v in per_app_results.values()}
+    if len(n_rates) != 1:
+        raise ValueError("all apps must be swept over the same rates")
+    rates = [r.rate for r in next(iter(per_app_results.values()))]
+    rows = []
+    for label in labels:
+        row: list[object] = [label]
+        for i in range(len(rates)):
+            errs = [per_app_results[a][i].outcomes[label].true_error for a in apps]
+            row.append(float(np.mean(errs)))
+        rows.append(row)
+    select_row: list[object] = ["Select"]
+    for i in range(len(rates)):
+        errs = [per_app_results[a][i].select_true_error for a in apps]
+        select_row.append(float(np.mean(errs)))
+    rows.append(select_row)
+    headers = ["method"] + [f"{r:.0%}" for r in rates]
+    return format_table(
+        headers, rows,
+        title=f"Table 3: average sampled-DSE %error over {len(apps)} apps",
+    )

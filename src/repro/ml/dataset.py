@@ -1,0 +1,195 @@
+"""Column-typed datasets for predictive modeling.
+
+SPSS Clementine (the paper's modeling tool) distinguishes *numeric*, *flag*
+(yes/no), and *set* (categorical) fields and treats them differently per
+model family (§3.4 of the paper): linear regression only consumes fields
+that can be mapped to numbers, while neural networks accept everything via
+automatic encoding. :class:`Dataset` carries that role information so the
+encoders in :mod:`repro.ml.preprocess` can replicate the behaviour.
+
+Records are stored column-major: numeric columns as ``float64`` arrays,
+flag columns as ``bool`` arrays, and categorical columns as arrays of
+strings. The response (target) is always numeric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ColumnRole", "Column", "Dataset"]
+
+
+class ColumnRole(Enum):
+    """Field role, mirroring Clementine's numeric / flag / set typing."""
+
+    NUMERIC = "numeric"
+    FLAG = "flag"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named predictor column with a role and its values."""
+
+    name: str
+    role: ColumnRole
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values)
+        if values.ndim != 1:
+            raise ValueError(f"column {self.name!r} values must be 1-D, got {values.ndim}-D")
+        if self.role is ColumnRole.NUMERIC:
+            values = values.astype(np.float64)
+            if not np.all(np.isfinite(values)):
+                raise ValueError(f"numeric column {self.name!r} contains non-finite values")
+        elif self.role is ColumnRole.FLAG:
+            values = values.astype(bool)
+        else:
+            values = np.asarray([str(v) for v in values], dtype=object)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return int(self.values.shape[0])
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column restricted to ``indices``."""
+        return Column(self.name, self.role, self.values[indices])
+
+    @property
+    def is_constant(self) -> bool:
+        """True when the column shows no variation (Clementine drops these)."""
+        if len(self) == 0:
+            return True
+        first = self.values[0]
+        return bool(np.all(self.values == first))
+
+
+class Dataset:
+    """An immutable table of typed predictor columns plus a numeric target.
+
+    Parameters
+    ----------
+    columns:
+        Predictor columns; all must share one length.
+    target:
+        Response values, one per record (e.g. simulated cycles, SPEC rate).
+    target_name:
+        Name used in reports.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[Column],
+        target: np.ndarray,
+        target_name: str = "y",
+    ) -> None:
+        target = np.asarray(target, dtype=np.float64).ravel()
+        if not np.all(np.isfinite(target)):
+            raise ValueError("target contains non-finite values")
+        columns = list(columns)
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate column names: {dupes}")
+        for col in columns:
+            if len(col) != target.shape[0]:
+                raise ValueError(
+                    f"column {col.name!r} has {len(col)} records but target has {target.shape[0]}"
+                )
+        self._columns = columns
+        self._by_name = {c.name: c for c in columns}
+        self.target = target
+        self.target_name = target_name
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        return int(self.target.shape[0])
+
+    @property
+    def columns(self) -> list[Column]:
+        return list(self._columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self._columns]
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {self.column_names}"
+            ) from None
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __repr__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"Dataset(n_records={self.n_records}, n_columns={len(self._columns)}, "
+            f"target={self.target_name!r})"
+        )
+
+    # -- record selection --------------------------------------------------
+
+    def take(self, indices: Iterable[int] | np.ndarray) -> "Dataset":
+        """Return a new dataset with the records at ``indices`` (in order)."""
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if idx.size and (idx.min() < -self.n_records or idx.max() >= self.n_records):
+            raise IndexError(f"indices out of range for {self.n_records} records")
+        return Dataset(
+            [c.take(idx) for c in self._columns],
+            self.target[idx],
+            self.target_name,
+        )
+
+    def random_split(
+        self, fraction: float, rng: np.random.Generator
+    ) -> tuple["Dataset", "Dataset"]:
+        """Randomly split into (selected, rest) with ``fraction`` of records.
+
+        At least one record lands on each side provided ``n_records >= 2``.
+        """
+        if not (0.0 < fraction < 1.0):
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        if self.n_records < 2:
+            raise ValueError("need at least 2 records to split")
+        n_sel = int(round(fraction * self.n_records))
+        n_sel = min(max(n_sel, 1), self.n_records - 1)
+        perm = rng.permutation(self.n_records)
+        return self.take(np.sort(perm[:n_sel])), self.take(np.sort(perm[n_sel:]))
+
+    def sample(self, n: int, rng: np.random.Generator) -> tuple["Dataset", np.ndarray]:
+        """Sample ``n`` records without replacement; returns (subset, indices)."""
+        if not (1 <= n <= self.n_records):
+            raise ValueError(f"n must be in [1, {self.n_records}], got {n}")
+        idx = np.sort(rng.choice(self.n_records, size=n, replace=False))
+        return self.take(idx), idx
+
+    # -- construction helpers ----------------------------------------------
+
+    @staticmethod
+    def from_mapping(
+        numeric: Mapping[str, np.ndarray] | None = None,
+        flags: Mapping[str, np.ndarray] | None = None,
+        categorical: Mapping[str, np.ndarray] | None = None,
+        *,
+        target: np.ndarray,
+        target_name: str = "y",
+    ) -> "Dataset":
+        """Build a dataset from per-role column mappings."""
+        cols: list[Column] = []
+        for name, vals in (numeric or {}).items():
+            cols.append(Column(name, ColumnRole.NUMERIC, np.asarray(vals)))
+        for name, vals in (flags or {}).items():
+            cols.append(Column(name, ColumnRole.FLAG, np.asarray(vals)))
+        for name, vals in (categorical or {}).items():
+            cols.append(Column(name, ColumnRole.CATEGORICAL, np.asarray(vals)))
+        return Dataset(cols, target, target_name)

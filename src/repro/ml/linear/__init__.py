@@ -1,0 +1,24 @@
+"""Linear-regression models (LR-E / LR-S / LR-F / LR-B) and their machinery."""
+
+from repro.ml.linear.lsq import OlsFit, fit_ols, partial_f_pvalue
+from repro.ml.linear.model import LR_METHODS, LinearRegressionModel
+from repro.ml.linear.stepwise import (
+    SelectionResult,
+    select_backward,
+    select_enter,
+    select_forward,
+    select_stepwise,
+)
+
+__all__ = [
+    "OlsFit",
+    "fit_ols",
+    "partial_f_pvalue",
+    "LR_METHODS",
+    "LinearRegressionModel",
+    "SelectionResult",
+    "select_backward",
+    "select_enter",
+    "select_forward",
+    "select_stepwise",
+]

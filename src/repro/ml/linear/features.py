@@ -1,0 +1,60 @@
+"""Feature expansion for linear models: pairwise interactions and squares.
+
+The paper's related work (Lee & Brooks, ASPLOS 2006 — its ref [3]) shows
+regression models for architectural prediction need non-linear feature
+terms to compete with neural networks. This module provides the classic
+degree-2 expansion — per-feature squares and pairwise products — so the
+library can quantify exactly how much of the LR-vs-NN gap on the simulated
+design spaces (Figures 2-6) is plain missing curvature. The
+``benchmarks/test_bench_ablation.py`` interaction ablation reports it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expand_degree2", "degree2_feature_names"]
+
+
+def expand_degree2(
+    X: np.ndarray,
+    include_squares: bool = True,
+    include_interactions: bool = True,
+) -> np.ndarray:
+    """Append degree-2 terms to a design matrix.
+
+    Output columns: the original features, then (optionally) ``x_j^2`` for
+    each feature, then (optionally) ``x_i * x_j`` for every ``i < j`` pair.
+    Constant-zero expansion columns are kept (callers' selection machinery
+    drops non-contributing predictors anyway).
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    blocks = [X]
+    if include_squares:
+        blocks.append(X * X)
+    if include_interactions:
+        n, p = X.shape
+        pairs = [(i, j) for i in range(p) for j in range(i + 1, p)]
+        if pairs:
+            inter = np.empty((n, len(pairs)))
+            for k, (i, j) in enumerate(pairs):
+                inter[:, k] = X[:, i] * X[:, j]
+            blocks.append(inter)
+    return np.hstack(blocks)
+
+
+def degree2_feature_names(
+    names: list[str],
+    include_squares: bool = True,
+    include_interactions: bool = True,
+) -> list[str]:
+    """Feature names matching :func:`expand_degree2`'s column order."""
+    out = list(names)
+    if include_squares:
+        out.extend(f"{n}^2" for n in names)
+    if include_interactions:
+        p = len(names)
+        out.extend(
+            f"{names[i]}*{names[j]}" for i in range(p) for j in range(i + 1, p)
+        )
+    return out

@@ -1,0 +1,149 @@
+"""Ordinary least squares with the inference statistics stepwise needs.
+
+Implements the textbook machinery of Montgomery, Peck & Vining (the paper's
+reference [7]): QR-based least-squares fits, residual variance, coefficient
+standard errors and t statistics, R², and the partial-F test that drives
+Forward/Backward/Stepwise predictor selection.
+
+Everything operates on plain design matrices; the intercept column is
+managed internally so callers pass predictor matrices only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["OlsFit", "fit_ols", "partial_f_pvalue"]
+
+
+@dataclass(frozen=True)
+class OlsFit:
+    """A fitted least-squares model ``y = β0 + X β + ε``.
+
+    Attributes
+    ----------
+    intercept, coef:
+        Estimated β0 and β (length p).
+    sse, sst, r_squared:
+        Residual and total sums of squares, coefficient of determination.
+    sigma2:
+        Unbiased residual variance estimate ``SSE / (n - p - 1)`` (0 when
+        the fit is saturated or perfect).
+    se:
+        Coefficient standard errors (length p; ``nan`` where not estimable).
+    t_values, p_values:
+        t statistics and two-sided p-values for each coefficient.
+    df_resid:
+        Residual degrees of freedom ``n - p - 1``.
+    """
+
+    intercept: float
+    coef: np.ndarray
+    sse: float
+    sst: float
+    r_squared: float
+    sigma2: float
+    se: np.ndarray
+    t_values: np.ndarray
+    p_values: np.ndarray
+    df_resid: int
+    n_obs: int
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted linear function on rows of ``X``."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.coef.shape[0]:
+            raise ValueError(
+                f"expected shape (*, {self.coef.shape[0]}), got {X.shape}"
+            )
+        return self.intercept + X @ self.coef
+
+
+def _design(X: np.ndarray) -> np.ndarray:
+    """Prepend the intercept column."""
+    n = X.shape[0]
+    return np.hstack([np.ones((n, 1)), X])
+
+
+def fit_ols(X: np.ndarray, y: np.ndarray) -> OlsFit:
+    """Fit OLS with intercept; tolerant of rank deficiency.
+
+    Rank-deficient designs (collinear predictors — common in SPEC system
+    records where e.g. cores-per-chip × chips = total cores) are resolved by
+    the minimum-norm least-squares solution; the affected coefficients get
+    ``nan`` standard errors and p-value 1.0 so stepwise treats them as
+    non-significant.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).ravel()
+    n, p = X.shape
+    if y.shape[0] != n:
+        raise ValueError(f"X has {n} rows but y has {y.shape[0]}")
+    if n == 0:
+        raise ValueError("cannot fit on zero observations")
+
+    A = _design(X)
+    beta_full, _, rank, _ = np.linalg.lstsq(A, y, rcond=None)
+    resid = y - A @ beta_full
+    sse = float(resid @ resid)
+    centered = y - y.mean()
+    sst = float(centered @ centered)
+    r2 = 1.0 - sse / sst if sst > 0.0 else (1.0 if sse <= 1e-12 * max(1.0, abs(float(y @ y))) else 0.0)
+
+    df_resid = n - rank
+    sigma2 = sse / df_resid if df_resid > 0 else 0.0
+
+    se = np.full(p, np.nan)
+    t_values = np.full(p, np.nan)
+    p_values = np.ones(p)
+    if df_resid > 0 and sigma2 > 0.0:
+        # Covariance of beta-hat: sigma2 * (A'A)^-1; use pinv for stability.
+        cov = sigma2 * np.linalg.pinv(A.T @ A)
+        diag = np.clip(np.diag(cov)[1:], 0.0, None)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            se = np.sqrt(diag)
+            t_values = np.where(se > 0, beta_full[1:] / se, np.nan)
+        finite = np.isfinite(t_values)
+        p_values = np.ones(p)
+        p_values[finite] = 2.0 * sps.t.sf(np.abs(t_values[finite]), df_resid)
+    elif sigma2 == 0.0 and df_resid > 0:
+        # Perfect fit: every retained coefficient is maximally significant.
+        p_values = np.zeros(p)
+
+    return OlsFit(
+        intercept=float(beta_full[0]),
+        coef=beta_full[1:].copy(),
+        sse=sse,
+        sst=sst,
+        r_squared=float(np.clip(r2, 0.0, 1.0)),
+        sigma2=float(sigma2),
+        se=se,
+        t_values=t_values,
+        p_values=p_values,
+        df_resid=int(df_resid),
+        n_obs=n,
+    )
+
+
+def partial_f_pvalue(fit_reduced: OlsFit, fit_full: OlsFit, df_added: int = 1) -> float:
+    """p-value of the partial F test comparing nested OLS fits.
+
+    Tests whether the ``df_added`` extra predictors in ``fit_full``
+    significantly reduce SSE relative to ``fit_reduced``. Returns 1.0 when
+    the test is degenerate (no residual df, or no SSE improvement) and 0.0
+    when the full model fits perfectly while the reduced one does not.
+    """
+    if df_added <= 0:
+        raise ValueError(f"df_added must be >= 1, got {df_added}")
+    improvement = fit_reduced.sse - fit_full.sse
+    if fit_full.df_resid <= 0:
+        return 1.0
+    if fit_full.sse <= 0.0:
+        return 0.0 if improvement > 0.0 else 1.0
+    if improvement <= 0.0:
+        return 1.0
+    f_stat = (improvement / df_added) / (fit_full.sse / fit_full.df_resid)
+    return float(sps.f.sf(f_stat, df_added, fit_full.df_resid))

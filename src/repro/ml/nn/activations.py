@@ -1,0 +1,65 @@
+"""Activation functions for the feed-forward networks.
+
+Clementine's neural-network node builds sigmoid multilayer perceptrons; the
+paper (§3.2) notes hidden activations may be "linear, hard limit, sigmoid,
+or tan-sigmoid". We implement the differentiable ones (hard-limit units are
+not trainable by backprop and Clementine does not use them for regression).
+
+Each activation exposes the function and its derivative *expressed in terms
+of the activation output*, which is what backpropagation consumes (e.g.
+``sigmoid' = a (1 - a)``) — this avoids recomputing the pre-activation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Activation", "SIGMOID", "TANH", "LINEAR", "get_activation"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """An activation function and its output-space derivative."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    deriv_from_output: Callable[[np.ndarray], np.ndarray]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() finite; saturation beyond ±40 is numerically exact.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -40.0, 40.0)))
+
+
+SIGMOID = Activation(
+    name="sigmoid",
+    fn=_sigmoid,
+    deriv_from_output=lambda a: a * (1.0 - a),
+)
+
+TANH = Activation(
+    name="tanh",
+    fn=np.tanh,
+    deriv_from_output=lambda a: 1.0 - a * a,
+)
+
+LINEAR = Activation(
+    name="linear",
+    fn=lambda z: z,
+    deriv_from_output=lambda a: np.ones_like(a),
+)
+
+_REGISTRY = {act.name: act for act in (SIGMOID, TANH, LINEAR)}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

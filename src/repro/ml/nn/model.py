@@ -1,0 +1,144 @@
+"""The neural-network predictive model (NN-Q/D/M/P/E/S) behind the common
+:class:`~repro.ml.base.PredictiveModel` interface.
+
+Handles Clementine-style preparation internally: inputs are encoded for the
+``"nn"`` target (flags 0/1, categoricals one-hot, everything 0–1 scaled) and
+the response is range-scaled to [0.15, 0.85] before training, then
+inverse-scaled at prediction time.
+
+The saturating hidden layer is not an implementation accident — Clementine
+trains (tan-)sigmoid networks on range-scaled data, and a saturated hidden
+layer cannot extrapolate beyond the training envelope. That is precisely the
+failure the paper observes for neural networks on chronological prediction
+(§4.3): 2006 systems are faster than anything in the 2005 training range, so
+the network's response flattens where linear regression extrapolates.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.ml.base import PredictiveModel
+from repro.ml.dataset import Dataset
+from repro.ml.nn.importance import input_importances
+from repro.ml.nn.methods import NN_METHODS, NnBuild
+from repro.ml.preprocess import Encoder
+
+__all__ = ["NeuralNetworkModel", "TargetScaler"]
+
+
+class TargetScaler:
+    """Affine map of the response into [lo_margin, hi_margin] ⊂ (0, 1)."""
+
+    def __init__(self, margin: float = 0.15) -> None:
+        if not (0.0 <= margin < 0.5):
+            raise ValueError(f"margin must be in [0, 0.5), got {margin}")
+        self.margin = margin
+        self._ymin: float | None = None
+        self._yspan: float | None = None
+
+    def fit(self, y: np.ndarray) -> "TargetScaler":
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size == 0:
+            raise ValueError("cannot fit target scaler on empty array")
+        self._ymin = float(y.min())
+        span = float(y.max()) - self._ymin
+        self._yspan = span if span > 0.0 else 1.0
+        return self
+
+    def transform(self, y: np.ndarray) -> np.ndarray:
+        if self._ymin is None or self._yspan is None:
+            raise RuntimeError("target scaler is not fit")
+        unit = (np.asarray(y, dtype=np.float64) - self._ymin) / self._yspan
+        return self.margin + unit * (1.0 - 2.0 * self.margin)
+
+    def inverse(self, y_scaled: np.ndarray) -> np.ndarray:
+        if self._ymin is None or self._yspan is None:
+            raise RuntimeError("target scaler is not fit")
+        unit = (np.asarray(y_scaled, dtype=np.float64) - self.margin) / (1.0 - 2.0 * self.margin)
+        return self._ymin + unit * self._yspan
+
+
+class NeuralNetworkModel(PredictiveModel):
+    """A neural network trained by one of the six Clementine methods.
+
+    Parameters
+    ----------
+    method:
+        ``"quick"`` | ``"dynamic"`` | ``"multiple"`` | ``"prune"`` |
+        ``"exhaustive"`` | ``"single"``.
+    seed:
+        Seed for weight initialization and internal validation splits.
+    """
+
+    def __init__(self, method: str = "quick", seed: int = 0) -> None:
+        if method not in NN_METHODS:
+            raise ValueError(f"method must be one of {sorted(NN_METHODS)}, got {method!r}")
+        self.method = method
+        self.name = NN_METHODS[method][0]
+        self.seed = seed
+        self._encoder: Encoder | None = None
+        self._scaler: TargetScaler | None = None
+        self._build: NnBuild | None = None
+        self._train_X: np.ndarray | None = None
+        self._train_y_scaled: np.ndarray | None = None
+
+    def fit(self, train: Dataset) -> "NeuralNetworkModel":
+        encoder = Encoder(for_model="nn", scale=True)
+        X = encoder.fit_transform(train)
+        scaler = TargetScaler().fit(train.target)
+        y = scaler.transform(train.target)
+        rng = np.random.default_rng(self.seed)
+        builder = NN_METHODS[self.method][1]
+        self._build = builder(X, y, rng)
+        self._encoder = encoder
+        self._scaler = scaler
+        self._train_X = X
+        self._train_y_scaled = y
+        return self
+
+    def predict(self, data: Dataset) -> np.ndarray:
+        self._require_fit(self._build is not None)
+        assert self._encoder is not None and self._scaler is not None and self._build is not None
+        X = self._encoder.transform(data)
+        out = self._build.net.predict(X)
+        return self._scaler.inverse(out)
+
+    # -- introspection -------------------------------------------------------
+
+    def importances(self) -> Mapping[str, float]:
+        """Sensitivity importances per source column (max over one-hot levels)."""
+        self._require_fit(self._build is not None)
+        assert (
+            self._build is not None
+            and self._encoder is not None
+            and self._train_X is not None
+            and self._train_y_scaled is not None
+        )
+        per_feature = input_importances(
+            self._build.net,
+            self._train_X,
+            self._train_y_scaled,
+            self._encoder.feature_names,
+        )
+        out: dict[str, float] = {}
+        for feat, score in per_feature.items():
+            col = self._encoder.feature_to_column(feat)
+            out[col] = max(out.get(col, 0.0), score)
+        return dict(sorted(out.items(), key=lambda kv: kv[1], reverse=True))
+
+    @property
+    def topology(self) -> list[int]:
+        """Layer sizes of the trained network."""
+        self._require_fit(self._build is not None)
+        assert self._build is not None
+        return list(self._build.net.layer_sizes)
+
+    @property
+    def build_notes(self) -> list[str]:
+        """Diagnostics from the training method (growth/prune/restart trace)."""
+        self._require_fit(self._build is not None)
+        assert self._build is not None
+        return list(self._build.notes)

@@ -1,0 +1,155 @@
+"""Sensitivity-based network pruning (the Prune / Exhaustive-Prune methods).
+
+Clementine's *Prune* and *Exhaustive Prune* training methods start from a
+deliberately oversized network and repeatedly remove the hidden units and
+input fields that contribute least, retraining between removals. We measure
+a unit's contribution by *ablation sensitivity*: the increase in validation
+loss when the unit's output is replaced by its mean over the validation
+batch (skeletonization-style). Inputs are ablated the same way — the input
+column is frozen at its mean — which is also exactly how input importance
+is computed for the paper's §4.4 analysis (see
+:mod:`repro.ml.nn.importance`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.nn.network import MLP
+from repro.ml.nn.training import TrainingConfig, train
+
+__all__ = ["hidden_unit_sensitivities", "input_sensitivities", "prune_network", "PruneOutcome"]
+
+
+def hidden_unit_sensitivities(net: MLP, X: np.ndarray, y: np.ndarray) -> list[np.ndarray]:
+    """Per-hidden-unit ablation sensitivity.
+
+    Returns one array per hidden layer; entry ``[u]`` is the loss increase
+    when unit ``u``'s activation is clamped to its batch mean (can be
+    slightly negative if the unit is actively harmful).
+    """
+    acts = net.forward(X)
+    y2 = np.asarray(y, dtype=np.float64).reshape(-1, net.n_outputs)
+    base = float(np.mean((acts[-1] - y2) ** 2))
+    out: list[np.ndarray] = []
+    n_hidden = len(net.layer_sizes) - 2
+    for li in range(n_hidden):
+        layer_act = acts[li + 1]
+        sens = np.empty(layer_act.shape[1])
+        for u in range(layer_act.shape[1]):
+            clamped = layer_act.copy()
+            clamped[:, u] = layer_act[:, u].mean()
+            # Re-run the tail of the network from this layer.
+            a = clamped
+            for lj in range(li + 1, len(net.weights)):
+                z = a @ net.weights[lj][1:] + net.weights[lj][0]
+                act = net.output_act if lj == len(net.weights) - 1 else net.hidden_act
+                a = act.fn(z)
+            sens[u] = float(np.mean((a - y2) ** 2)) - base
+        out.append(sens)
+    return out
+
+
+def input_sensitivities(net: MLP, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Per-input ablation sensitivity (loss increase when the input is
+    frozen at its batch mean). Masked inputs report 0."""
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    y2 = np.asarray(y, dtype=np.float64).reshape(-1, net.n_outputs)
+    base = float(np.mean((net.forward(X)[-1] - y2) ** 2))
+    sens = np.zeros(net.n_inputs)
+    means = X.mean(axis=0)
+    for j in range(net.n_inputs):
+        if not net.input_mask[j]:
+            continue
+        X_abl = X.copy()
+        X_abl[:, j] = means[j]
+        sens[j] = float(np.mean((net.forward(X_abl)[-1] - y2) ** 2)) - base
+    return sens
+
+
+@dataclass
+class PruneOutcome:
+    """Result of :func:`prune_network`."""
+
+    net: MLP
+    val_loss: float
+    removed_hidden: int
+    removed_inputs: int
+    steps: list[str]
+
+
+def prune_network(
+    net: MLP,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    retrain_config: TrainingConfig,
+    max_removals: int | None = None,
+    tolerance: float = 0.02,
+    prune_inputs: bool = True,
+) -> PruneOutcome:
+    """Iteratively remove the least-sensitive unit/input, retraining each time.
+
+    A removal is *accepted* when, after retraining, validation loss is no
+    worse than ``(1 + tolerance) ×`` the best seen; otherwise the removal is
+    rolled back and pruning stops. Smaller ``tolerance`` and larger retrain
+    budgets give the slower-but-better Exhaustive-Prune behaviour.
+    """
+    best = net.clone()
+    best_val = best.loss(X_val, y_val)
+    removed_hidden = 0
+    removed_inputs = 0
+    steps: list[str] = []
+    budget = max_removals if max_removals is not None else (sum(net.hidden_sizes) + net.n_inputs)
+
+    for _ in range(budget):
+        candidate = best.clone()
+        hid_sens = hidden_unit_sensitivities(candidate, X_val, y_val)
+        # Weakest hidden unit across layers (only layers with > 1 unit).
+        weakest: tuple[float, int, int] | None = None
+        for li, sens in enumerate(hid_sens):
+            if candidate.layer_sizes[li + 1] <= 1:
+                continue
+            u = int(np.argmin(sens))
+            if weakest is None or sens[u] < weakest[0]:
+                weakest = (float(sens[u]), li, u)
+        choice: str | None = None
+        if prune_inputs:
+            in_sens = input_sensitivities(candidate, X_val, y_val)
+            active = candidate.active_inputs
+            if active.size > 1:
+                j = int(active[np.argmin(in_sens[active])])
+                if weakest is None or in_sens[j] < weakest[0]:
+                    choice = f"input {j}"
+                    candidate.mask_input(j)
+        if choice is None:
+            if weakest is None:
+                break
+            _, li, u = weakest
+            choice = f"hidden[{li}] unit {u}"
+            candidate.drop_hidden_unit(li, u)
+
+        train(candidate, X_train, y_train, retrain_config, X_val, y_val)
+        val = candidate.loss(X_val, y_val)
+        if val <= best_val * (1.0 + tolerance):
+            steps.append(f"removed {choice}: val {best_val:.3g} -> {val:.3g}")
+            if choice.startswith("input"):
+                removed_inputs += 1
+            else:
+                removed_hidden += 1
+            best = candidate
+            best_val = min(best_val, val)
+        else:
+            steps.append(f"rejected {choice}: val would be {val:.3g} (> tol)")
+            break
+
+    return PruneOutcome(
+        net=best,
+        val_loss=float(best_val),
+        removed_hidden=removed_hidden,
+        removed_inputs=removed_inputs,
+        steps=steps,
+    )

@@ -1,0 +1,236 @@
+"""Clementine-style data preparation (paper §3.4).
+
+The paper describes three preparation behaviours that materially shape the
+results, and all three are replicated here:
+
+1. **Range scaling** — "Clementine software automatically scales the input
+   data to the range 0-1 to prevent the effect of scales of different
+   parameters." :class:`MinMaxScaler` does this per feature, fit on training
+   data only.
+2. **Model-specific field handling** — "The linear regression methods expect
+   the input parameters to be numerical … some … are mapped to numeric
+   values. For some other input parameters this kind of transformation is
+   not possible, hence these are omitted." Flags are mapped to 0/1 for both
+   model families. Categorical ("set") fields whose levels all parse as
+   numbers are coerced for linear regression; genuinely symbolic fields
+   (e.g. branch-predictor type) are *omitted* for linear regression but
+   one-hot encoded for neural networks.
+3. **Constant-field elimination** — "Clementine omits some predictor
+   variables because these input parameters do not have any variation."
+   Constant columns are dropped during ``fit``.
+4. **Identifier elimination** — Clementine marks set fields with too many
+   distinct members as *typeless* and excludes them from modeling. We drop
+   categorical columns whose level count exceeds
+   ``max(8, identifier_fraction x n_records)``: a field with nearly one
+   level per record (e.g. the SPEC announcement's free-text system name)
+   is an identifier, not a predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.ml.dataset import Column, ColumnRole, Dataset
+
+__all__ = ["MinMaxScaler", "Encoder", "EncoderReport"]
+
+EncoderTarget = Literal["linear", "nn"]
+
+
+class MinMaxScaler:
+    """Per-feature scaling to [0, 1] fit on training data.
+
+    Test-time values outside the training range extrapolate linearly (they
+    are *not* clipped): chronological prediction deliberately feeds
+    next-year systems whose clocks exceed anything seen in training, and
+    clipping would erase exactly the signal being extrapolated.
+    Constant features map to 0.0.
+    """
+
+    def __init__(self) -> None:
+        self.lo_: np.ndarray | None = None
+        self.span_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got {X.ndim}-D")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty matrix")
+        self.lo_ = X.min(axis=0)
+        span = X.max(axis=0) - self.lo_
+        span[span == 0.0] = 1.0  # constant features map to 0
+        self.span_ = span
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.lo_ is None or self.span_ is None:
+            raise RuntimeError("scaler is not fit")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.lo_.shape[0]:
+            raise ValueError(
+                f"expected shape (*, {self.lo_.shape[0]}), got {X.shape}"
+            )
+        return (X - self.lo_) / self.span_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+@dataclass(frozen=True)
+class EncoderReport:
+    """What the encoder kept and why it dropped the rest."""
+
+    feature_names: tuple[str, ...]
+    dropped_constant: tuple[str, ...]
+    dropped_symbolic: tuple[str, ...]
+    dropped_identifier: tuple[str, ...]
+
+
+def _numeric_levels(values: np.ndarray) -> np.ndarray | None:
+    """Try to coerce categorical level strings to floats; None if impossible."""
+    out = np.empty(values.shape[0], dtype=np.float64)
+    for i, v in enumerate(values):
+        try:
+            out[i] = float(v)
+        except (TypeError, ValueError):
+            return None
+    return out
+
+
+class Encoder:
+    """Turn a :class:`Dataset` into a numeric design matrix for one model family.
+
+    Parameters
+    ----------
+    for_model:
+        ``"linear"`` — numeric + flag + numerically-coercible categorical
+        columns; symbolic categoricals are omitted (recorded in the report).
+        ``"nn"`` — everything is kept; symbolic categoricals are one-hot
+        encoded with one indicator per training-time level.
+    scale:
+        Apply :class:`MinMaxScaler` (Clementine always does; tests may
+        disable it to check raw encodings).
+    """
+
+    def __init__(
+        self,
+        for_model: EncoderTarget,
+        scale: bool = True,
+        identifier_fraction: float = 0.5,
+    ) -> None:
+        if for_model not in ("linear", "nn"):
+            raise ValueError(f"for_model must be 'linear' or 'nn', got {for_model!r}")
+        if not (0.0 < identifier_fraction <= 1.0):
+            raise ValueError(
+                f"identifier_fraction must be in (0, 1], got {identifier_fraction}"
+            )
+        self.for_model = for_model
+        self.scale = scale
+        self.identifier_fraction = identifier_fraction
+        self._plan: list[tuple[str, str, tuple[str, ...]]] | None = None
+        self._scaler: MinMaxScaler | None = None
+        self._report: EncoderReport | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "Encoder":
+        """Decide the per-column encoding plan from training data."""
+        plan: list[tuple[str, str, tuple[str, ...]]] = []
+        dropped_constant: list[str] = []
+        dropped_symbolic: list[str] = []
+        dropped_identifier: list[str] = []
+        max_levels = max(8, int(self.identifier_fraction * dataset.n_records))
+        for col in dataset.columns:
+            if col.is_constant:
+                dropped_constant.append(col.name)
+                continue
+            if col.role is ColumnRole.NUMERIC:
+                plan.append((col.name, "numeric", ()))
+            elif col.role is ColumnRole.FLAG:
+                plan.append((col.name, "flag", ()))
+            else:
+                levels = tuple(sorted(set(col.values.tolist())))
+                if len(levels) > max_levels:
+                    dropped_identifier.append(col.name)  # typeless field
+                elif _numeric_levels(col.values) is not None:
+                    plan.append((col.name, "coerce", ()))
+                elif self.for_model == "nn":
+                    plan.append((col.name, "onehot", levels))
+                else:
+                    dropped_symbolic.append(col.name)
+        if not plan:
+            raise ValueError("no usable predictor columns after preparation")
+        self._plan = plan
+        feature_names: list[str] = []
+        for name, kind, levels in plan:
+            if kind == "onehot":
+                feature_names.extend(f"{name}={lvl}" for lvl in levels)
+            else:
+                feature_names.append(name)
+        self._report = EncoderReport(
+            feature_names=tuple(feature_names),
+            dropped_constant=tuple(dropped_constant),
+            dropped_symbolic=tuple(dropped_symbolic),
+            dropped_identifier=tuple(dropped_identifier),
+        )
+        if self.scale:
+            self._scaler = MinMaxScaler().fit(self._raw_matrix(dataset))
+        return self
+
+    # -- transformation ----------------------------------------------------
+
+    def _raw_matrix(self, dataset: Dataset) -> np.ndarray:
+        assert self._plan is not None
+        blocks: list[np.ndarray] = []
+        for name, kind, levels in self._plan:
+            col = dataset.column(name)
+            if kind == "numeric":
+                blocks.append(col.values.astype(np.float64)[:, None])
+            elif kind == "flag":
+                blocks.append(col.values.astype(np.float64)[:, None])
+            elif kind == "coerce":
+                coerced = _numeric_levels(col.values)
+                if coerced is None:
+                    raise ValueError(
+                        f"column {name!r} was numeric-coercible at fit time but is not now"
+                    )
+                blocks.append(coerced[:, None])
+            else:  # onehot
+                vals = col.values
+                block = np.zeros((len(col), len(levels)), dtype=np.float64)
+                for j, lvl in enumerate(levels):
+                    block[:, j] = vals == lvl
+                blocks.append(block)
+        return np.hstack(blocks)
+
+    def transform(self, dataset: Dataset) -> np.ndarray:
+        """Encode a dataset with the plan learned at ``fit`` time."""
+        if self._plan is None:
+            raise RuntimeError("encoder is not fit")
+        X = self._raw_matrix(dataset)
+        if self._scaler is not None:
+            X = self._scaler.transform(X)
+        return X
+
+    def fit_transform(self, dataset: Dataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def report(self) -> EncoderReport:
+        if self._report is None:
+            raise RuntimeError("encoder is not fit")
+        return self._report
+
+    @property
+    def feature_names(self) -> list[str]:
+        return list(self.report.feature_names)
+
+    def feature_to_column(self, feature_name: str) -> str:
+        """Map an encoded feature name back to its source column."""
+        return feature_name.split("=", 1)[0]

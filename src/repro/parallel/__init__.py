@@ -1,0 +1,19 @@
+"""Parallel execution substrate (serial / process-pool map, partitioning)."""
+
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    default_executor,
+)
+from repro.parallel.partition import balanced_chunks, chunk_bounds, interleaved_chunks
+
+__all__ = [
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "default_executor",
+    "balanced_chunks",
+    "chunk_bounds",
+    "interleaved_chunks",
+]

@@ -1,0 +1,211 @@
+"""Table-based branch predictors (the four of Table 1).
+
+Real table-indexed predictor simulations, matching SimpleScalar's models:
+
+* **perfect** — oracle; never mispredicts.
+* **bimodal** — a table of 2-bit saturating counters indexed by PC.
+* **2-level** — GAg-style: a global history register selects a 2-bit
+  counter in a pattern history table (PC-hashed to reduce aliasing).
+* **combining** — bimodal + 2-level with a 2-bit chooser table that learns,
+  per PC, which component to trust (McFarling).
+
+These are used by the detailed simulator path and validate the closed-form
+per-class misprediction rates in :mod:`repro.simulator.analytic`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "BranchPredictor",
+    "PerfectPredictor",
+    "BimodalPredictor",
+    "TwoLevelPredictor",
+    "CombiningPredictor",
+    "make_predictor",
+    "simulate_predictor",
+]
+
+
+class BranchPredictor(ABC):
+    """Predict-then-update interface over (pc, outcome) streams."""
+
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+
+    @abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the actual outcome."""
+
+
+def _ctr_predict(ctr: int) -> bool:
+    return ctr >= 2
+
+
+def _ctr_update(ctr: int, taken: bool) -> int:
+    if taken:
+        return min(ctr + 1, 3)
+    return max(ctr - 1, 0)
+
+
+class PerfectPredictor(BranchPredictor):
+    """Oracle predictor (Table 1's 'Perfect')."""
+
+    name = "perfect"
+
+    def __init__(self) -> None:
+        self._next: bool | None = None
+
+    def predict(self, pc: int) -> bool:  # noqa: ARG002 - oracle ignores pc
+        # The simulation harness feeds the actual outcome through update()
+        # *before* asking for the prediction of the same branch; for the
+        # stand-alone interface we simply always match via simulate().
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:  # noqa: ARG002
+        return
+
+
+class BimodalPredictor(BranchPredictor):
+    """PC-indexed 2-bit counter table (SimpleScalar ``bimod``).
+
+    Table 1 does not specify predictor capacities; the default is sized so
+    capacity aliasing does not mask the algorithmic comparison.
+    """
+
+    name = "bimodal"
+
+    def __init__(self, table_size: int = 8192) -> None:
+        if table_size <= 0 or table_size & (table_size - 1):
+            raise ValueError(f"table_size must be a power of two, got {table_size}")
+        self.table = np.full(table_size, 2, dtype=np.int8)  # weakly taken
+        self.mask = table_size - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        return bool(self.table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        self.table[i] = _ctr_update(int(self.table[i]), taken)
+
+
+class TwoLevelPredictor(BranchPredictor):
+    """Two-level adaptive predictor with per-branch (local) history.
+
+    SimpleScalar's ``2lev`` with an L1 history table larger than one entry
+    (PAg): a PC-indexed table of branch-history registers selects a 2-bit
+    counter in the pattern history table. Local history is what captures
+    the short deterministic loop patterns of the workload model.
+    """
+
+    name = "2level"
+
+    def __init__(
+        self,
+        history_bits: int = 6,
+        l1_size: int = 8192,
+        table_size: int = 32768,
+    ) -> None:
+        if not (1 <= history_bits <= 16):
+            raise ValueError(f"history_bits must be in [1, 16], got {history_bits}")
+        for val, what in ((l1_size, "l1_size"), (table_size, "table_size")):
+            if val <= 0 or val & (val - 1):
+                raise ValueError(f"{what} must be a power of two, got {val}")
+        self.history_bits = history_bits
+        self.histories = np.zeros(l1_size, dtype=np.int64)
+        self.l1_mask = l1_size - 1
+        self.table = np.full(table_size, 2, dtype=np.int8)
+        self.mask = table_size - 1
+
+    def _index(self, pc: int) -> int:
+        hist = int(self.histories[(pc >> 2) & self.l1_mask])
+        return ((pc >> 2) ^ (hist << 3)) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        return bool(self.table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        self.table[i] = _ctr_update(int(self.table[i]), taken)
+        h = (pc >> 2) & self.l1_mask
+        self.histories[h] = (
+            (int(self.histories[h]) << 1) | int(taken)
+        ) & ((1 << self.history_bits) - 1)
+
+
+class CombiningPredictor(BranchPredictor):
+    """McFarling combining predictor: bimodal + 2-level + chooser."""
+
+    name = "combining"
+
+    def __init__(
+        self,
+        history_bits: int = 6,
+        table_size: int = 32768,
+        chooser_size: int = 8192,
+    ) -> None:
+        if chooser_size <= 0 or chooser_size & (chooser_size - 1):
+            raise ValueError(f"chooser_size must be a power of two, got {chooser_size}")
+        self.bimodal = BimodalPredictor(table_size=max(table_size // 2, 2))
+        self.twolevel = TwoLevelPredictor(history_bits, table_size)
+        self.chooser = np.full(chooser_size, 2, dtype=np.int8)  # prefer 2-level
+        self.cmask = chooser_size - 1
+
+    def predict(self, pc: int) -> bool:
+        use_two = self.chooser[(pc >> 2) & self.cmask] >= 2
+        return self.twolevel.predict(pc) if use_two else self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        p_b = self.bimodal.predict(pc)
+        p_t = self.twolevel.predict(pc)
+        if p_b != p_t:
+            i = (pc >> 2) & self.cmask
+            self.chooser[i] = _ctr_update(int(self.chooser[i]), p_t == taken)
+        self.bimodal.update(pc, taken)
+        self.twolevel.update(pc, taken)
+
+
+def make_predictor(name: str) -> BranchPredictor:
+    """Instantiate a predictor by its Table-1 name."""
+    table = {
+        "perfect": PerfectPredictor,
+        "bimodal": BimodalPredictor,
+        "2level": TwoLevelPredictor,
+        "combining": CombiningPredictor,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(f"unknown predictor {name!r}; options: {sorted(table)}") from None
+
+
+def simulate_predictor(
+    predictor: BranchPredictor, pcs: np.ndarray, taken: np.ndarray
+) -> np.ndarray:
+    """Run a predictor over a branch stream; returns mispredict flags."""
+    pcs = np.asarray(pcs, dtype=np.uint64)
+    taken = np.asarray(taken, dtype=bool)
+    if pcs.shape != taken.shape:
+        raise ValueError(f"pcs {pcs.shape} and taken {taken.shape} differ")
+    if isinstance(predictor, PerfectPredictor):
+        return np.zeros(pcs.shape[0], dtype=bool)
+    miss = np.empty(pcs.shape[0], dtype=bool)
+    pcs_l = pcs.tolist()
+    taken_l = taken.tolist()
+    predict = predictor.predict
+    update = predictor.update
+    for i in range(len(pcs_l)):
+        pc = pcs_l[i]
+        t = taken_l[i]
+        miss[i] = predict(pc) != t
+        update(pc, t)
+    return miss

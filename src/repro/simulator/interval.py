@@ -1,0 +1,228 @@
+"""Interval-analysis CPI model — the design-space-sweep fast path.
+
+Following the interval / mechanistic modeling tradition (Karkhanis & Smith;
+Eyerman et al., the paper's ref [9]), total CPI decomposes into a base
+component set by machine width, window-limited ILP and functional-unit
+contention, plus miss-event penalty components:
+
+    CPI = CPI_base + CPI_icache + CPI_dcache + CPI_branch + CPI_tlb
+
+Each penalty component is (events/instruction) × (effective penalty), with
+miss rates evaluated in closed form from the workload's locality model
+(:mod:`repro.simulator.analytic`) and long-latency penalties divided by the
+window's achievable memory-level parallelism.
+
+This model exercises **every** Table-1 parameter:
+
+====================  =====================================================
+Parameter             Effect
+====================  =====================================================
+L1I/L1D size/line     instruction/data miss rates (reuse + spatial model)
+L1 associativity      set-conflict correction (constant 4-way in Table 1)
+L2 size/line/assoc    global L2 miss rates and L2 hit latency (bigger = slower)
+L3 present            adds a 36-cycle tier that filters memory accesses
+Branch predictor      per-class misprediction rate × pipeline refill penalty
+Width cluster         base CPI, FU contention limits, refill width
+RUU size              window-limited ILP and memory-level parallelism
+LSQ size              caps the outstanding-miss window for MLP
+I/D TLB reach         page-walk penalty components
+issue wrong-path      ±: wrong-path pollution of the L1D vs. prefetch effect
+====================  =====================================================
+
+A single evaluation is a handful of closed-form miss-rate computations
+(memoized per unique geometry), so sweeping the full 4608-point space takes
+milliseconds — that is what makes "simulate 1%, predict 100%" experiments
+convenient to *verify against the whole space*, which the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulator.analytic import mispredict_rate, miss_rate, tlb_miss_rate
+from repro.simulator.config import KB, MicroarchConfig
+from repro.simulator.workloads import MemoryBehavior, WorkloadProfile
+
+__all__ = ["Latencies", "IntervalResult", "evaluate_config", "sweep_design_space"]
+
+
+@dataclass(frozen=True)
+class Latencies:
+    """Memory-hierarchy and pipeline latency parameters (cycles)."""
+
+    l2_base: float = 9.0          # L2 hit latency at 256 KB ...
+    l2_per_doubling: float = 1.0  # ... plus this per capacity doubling
+    l3: float = 36.0
+    memory: float = 250.0
+    tlb_walk: float = 30.0
+    frontend_depth: float = 7.0   # mispredict redirect depth at width 4
+    frontend_depth_wide: float = 9.0  # deeper front-end of the 8-wide cluster
+
+    def l2_latency(self, l2_size: int) -> float:
+        """Larger L2s have longer access latency."""
+        doublings = math.log2(max(l2_size, 256 * KB) / (256 * KB))
+        return self.l2_base + self.l2_per_doubling * doublings
+
+
+DEFAULT_LATENCIES = Latencies()
+
+
+@dataclass(frozen=True)
+class IntervalResult:
+    """CPI breakdown and headline cycle count for one configuration."""
+
+    cycles: float
+    cpi: float
+    base_cpi: float
+    icache_cpi: float
+    dcache_cpi: float
+    branch_cpi: float
+    tlb_cpi: float
+    l1d_miss_rate: float
+    l1i_miss_rate: float
+    l2_global_miss_rate: float
+    l3_global_miss_rate: float
+    branch_mispredict_rate: float
+    n_instructions: int
+
+
+@lru_cache(maxsize=4096)
+def _miss(mem: MemoryBehavior, size: int, line: int, assoc: int) -> float:
+    """Memoized miss-rate evaluation (few dozen unique geometries/sweep)."""
+    return miss_rate(mem, size, line, assoc)
+
+
+def _mlp_overlap(profile: WorkloadProfile, config: MicroarchConfig) -> float:
+    """Achievable long-latency miss overlap given RUU and LSQ sizes."""
+    window = min(config.ruu_size, 2 * config.lsq_size)
+    ilp = profile.ilp
+    return 1.0 + (ilp.mlp_inf - 1.0) * (1.0 - math.exp(-window / ilp.mlp_tau))
+
+
+def _base_cpi(profile: WorkloadProfile, config: MicroarchConfig) -> float:
+    """Width-, window- and FU-limited steady-state CPI."""
+    ilp = profile.ilp
+    window_ipc = ilp.ilp_inf * (1.0 - math.exp(-config.ruu_size / ilp.window_tau))
+    # Functional-unit throughput limits: class fraction f served by n units
+    # caps sustainable IPC at n / f.
+    fu_limits = []
+    class_fractions = {
+        "ialu": profile.ialu_fraction + profile.mix_fraction("branch"),
+        "imult": profile.mix_fraction("imult"),
+        "memport": profile.mix_fraction("load") + profile.mix_fraction("store"),
+        "fpalu": profile.mix_fraction("fpalu"),
+        "fpmult": profile.mix_fraction("fpmult"),
+    }
+    for pool, frac in class_fractions.items():
+        if frac > 0.0:
+            fu_limits.append(config.fu_count(pool) / frac)
+    ipc = min(float(config.width), window_ipc, *fu_limits)
+    return 1.0 / max(ipc, 1e-6)
+
+
+def evaluate_config(
+    config: MicroarchConfig,
+    profile: WorkloadProfile,
+    n_instructions: int = 100_000_000,
+    latencies: Latencies = DEFAULT_LATENCIES,
+) -> IntervalResult:
+    """Evaluate one design point: cycles to run ``n_instructions``."""
+    if n_instructions <= 0:
+        raise ValueError(f"n_instructions must be positive, got {n_instructions}")
+    lat = latencies
+    l2_lat = lat.l2_latency(config.l2_size)
+
+    # --- instruction stream -------------------------------------------------
+    mi_l1 = _miss(profile.inst, config.l1i_size, config.l1i_line, config.l1i_assoc)
+    mi_l2 = min(_miss(profile.inst, config.l2_size, config.l2_line, config.l2_assoc), mi_l1)
+    if config.has_l3:
+        mi_l3 = min(_miss(profile.inst, config.l3_size, config.l3_line, config.l3_assoc), mi_l2)
+    else:
+        mi_l3 = mi_l2
+    icache_cpi = (
+        (mi_l1 - mi_l2) * l2_lat
+        + (mi_l2 - mi_l3) * lat.l3
+        + mi_l3 * lat.memory
+    )
+
+    # --- data stream ----------------------------------------------------------
+    wrongpath_pollution = 1.02 if config.issue_wrongpath else 1.0
+    md_l1 = min(1.0, _miss(profile.data, config.l1d_size, config.l1d_line,
+                           config.l1d_assoc) * wrongpath_pollution)
+    md_l2 = min(_miss(profile.data, config.l2_size, config.l2_line, config.l2_assoc), md_l1)
+    if config.has_l3:
+        md_l3 = min(_miss(profile.data, config.l3_size, config.l3_line, config.l3_assoc), md_l2)
+    else:
+        md_l3 = md_l2
+    overlap = _mlp_overlap(profile, config)
+    short_overlap = 1.0 + (overlap - 1.0) * 0.5  # L2 hits overlap less fully
+    mem_refs = profile.mix_fraction("load") + 0.3 * profile.mix_fraction("store")
+    dcache_cpi = mem_refs * (
+        (md_l1 - md_l2) * l2_lat / short_overlap
+        + (md_l2 - md_l3) * lat.l3 / overlap
+        + md_l3 * lat.memory / overlap
+    )
+
+    # --- branches ----------------------------------------------------------
+    mr = mispredict_rate(profile.branches, config.branch_predictor)
+    depth = lat.frontend_depth if config.width == 4 else lat.frontend_depth_wide
+    refill = config.ruu_size / (2.0 * config.width)
+    penalty = depth + refill
+    if config.issue_wrongpath:
+        penalty *= 0.97  # wrong-path execution warms the caches slightly
+    branch_cpi = profile.mix_fraction("branch") * mr * penalty
+
+    # --- TLBs ----------------------------------------------------------------
+    itlb_miss = tlb_miss_rate(profile.inst, config.itlb_size)
+    dtlb_miss = tlb_miss_rate(profile.data, config.dtlb_size)
+    tlb_cpi = (
+        itlb_miss * lat.tlb_walk
+        + mem_refs * dtlb_miss * lat.tlb_walk
+    )
+
+    base = _base_cpi(profile, config)
+    cpi = base + icache_cpi + dcache_cpi + branch_cpi + tlb_cpi
+    return IntervalResult(
+        cycles=cpi * n_instructions,
+        cpi=cpi,
+        base_cpi=base,
+        icache_cpi=icache_cpi,
+        dcache_cpi=dcache_cpi,
+        branch_cpi=branch_cpi,
+        tlb_cpi=tlb_cpi,
+        l1d_miss_rate=md_l1,
+        l1i_miss_rate=mi_l1,
+        l2_global_miss_rate=max(md_l2, 0.0),
+        l3_global_miss_rate=max(md_l3 if config.has_l3 else md_l2, 0.0),
+        branch_mispredict_rate=mr,
+        n_instructions=n_instructions,
+    )
+
+
+def _eval_cycles(args: tuple[MicroarchConfig, WorkloadProfile, int]) -> float:
+    config, profile, n_instructions = args
+    return evaluate_config(config, profile, n_instructions).cycles
+
+
+def sweep_design_space(
+    configs: Sequence[MicroarchConfig],
+    profile: WorkloadProfile,
+    n_instructions: int = 100_000_000,
+    executor=None,
+) -> np.ndarray:
+    """Cycle counts for every configuration (optionally on an executor).
+
+    The per-config evaluation is microseconds thanks to geometry
+    memoization, so the default is serial; pass a
+    :class:`repro.parallel.Executor` to fan out anyway (used by the
+    parallel-scaling ablation benchmark).
+    """
+    tasks = [(c, profile, n_instructions) for c in configs]
+    if executor is None:
+        return np.array([_eval_cycles(t) for t in tasks])
+    return np.array(executor.map(_eval_cycles, tasks))

@@ -1,0 +1,93 @@
+"""Fully-associative LRU translation lookaside buffers.
+
+Table 1 sizes TLBs by *reach* (e.g. "Data TLB size 512, 2048 KB"): the
+number of entries is reach / 4 KB page. A fully-associative LRU TLB with
+hundreds of entries needs O(1) hit handling, so the implementation uses an
+ordered dict (move-to-end on touch, evict oldest on overflow) rather than
+the small-list scheme of :class:`repro.simulator.cache.Cache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulator.workloads import PAGE
+
+__all__ = ["Tlb", "TlbStats"]
+
+
+@dataclass
+class TlbStats:
+    """Access counters."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """A fully-associative LRU TLB.
+
+    Parameters
+    ----------
+    reach_bytes:
+        Mapped capacity; entries = reach / page size (at least 1).
+    page_bytes:
+        Page size (4 KB default, as in the paper's era).
+    """
+
+    def __init__(self, reach_bytes: int, page_bytes: int = PAGE) -> None:
+        if reach_bytes <= 0 or page_bytes <= 0:
+            raise ValueError("reach_bytes and page_bytes must be positive")
+        self.entries = max(1, reach_bytes // page_bytes)
+        self.page_bytes = page_bytes
+        self._map: OrderedDict[int, None] = OrderedDict()
+        self.stats = TlbStats()
+
+    def reset(self) -> None:
+        self._map.clear()
+        self.stats = TlbStats()
+
+    def access(self, addr: int) -> bool:
+        """Translate one byte address; True on TLB hit."""
+        page = addr // self.page_bytes
+        self.stats.accesses += 1
+        if page in self._map:
+            self._map.move_to_end(page)
+            return True
+        self.stats.misses += 1
+        if len(self._map) >= self.entries:
+            self._map.popitem(last=False)
+        self._map[page] = None
+        return False
+
+    def access_stream(self, addrs: np.ndarray) -> np.ndarray:
+        """Translate a stream; returns boolean hit flags."""
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        pages = (addrs // self.page_bytes).tolist()
+        hits = np.empty(len(pages), dtype=bool)
+        tlb = self._map
+        entries = self.entries
+        n_miss = 0
+        for i, page in enumerate(pages):
+            if page in tlb:
+                tlb.move_to_end(page)
+                hits[i] = True
+            else:
+                hits[i] = False
+                n_miss += 1
+                if len(tlb) >= entries:
+                    tlb.popitem(last=False)
+                tlb[page] = None
+        self.stats.accesses += len(pages)
+        self.stats.misses += n_miss
+        return hits
+
+    def __repr__(self) -> str:  # pragma: no cover - formatting
+        return f"Tlb(entries={self.entries}, page={self.page_bytes})"

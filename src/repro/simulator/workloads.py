@@ -1,0 +1,503 @@
+"""Statistical workload models of the SPEC CPU2000 applications.
+
+The paper simulates 12 SPEC CPU2000 applications (chosen per Phansalkar et
+al.) on SimpleScalar and presents five: applu, equake, gcc, mesa, mcf. We
+cannot ship SPEC binaries, so each application is modeled by a
+:class:`WorkloadProfile` — a compact statistical description of its dynamic
+behaviour:
+
+* **instruction mix** (loads/stores/branches/int/fp fractions),
+* **data-reference locality** as a mixture of lognormal reuse-distance
+  components (distances in distinct 32-byte blocks) plus compulsory and
+  spatial-locality terms — this is what cache behaviour is computed from,
+* **instruction-stream locality**, the same machinery applied to the code
+  footprint (gcc's large code working set is what makes it I-cache bound),
+* **page-level locality** for the TLBs,
+* **branch population** split into strongly-biased, patterned (loop-like,
+  learnable by a two-level predictor), and data-dependent random branches,
+* **ILP/MLP** parameters: achievable instruction parallelism as a function
+  of window size, and memory-level parallelism that lets an out-of-order
+  window overlap miss latencies.
+
+The same profile drives both simulator paths: the analytic fast path
+(:mod:`repro.simulator.analytic`) evaluates the distributions in closed
+form; the synthetic trace generator (:mod:`repro.simulator.trace`) *samples*
+from them so the detailed cache/predictor/pipeline models see concrete
+address and branch streams. Tests cross-validate the two.
+
+Profile constants are calibrated so the simulated cycle ranges across the
+paper's 4608-configuration design space reproduce §4.1's reported
+range/variation per application (applu 1.62/0.16, equake 1.73/0.19,
+gcc 5.27/0.33, mesa 2.22/0.19, mcf 6.38/0.71).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "ReuseComponent",
+    "MemoryBehavior",
+    "BranchBehavior",
+    "IlpBehavior",
+    "WorkloadProfile",
+    "SPEC2000_PROFILES",
+    "PRESENTED_APPS",
+    "get_profile",
+]
+
+BLOCK = 32  # base modeling granularity in bytes
+PAGE = 4096  # bytes per page (TLB modeling)
+
+
+@dataclass(frozen=True)
+class ReuseComponent:
+    """One lognormal component of a reuse-distance mixture.
+
+    ``median_blocks`` is the median reuse distance in distinct 32-byte
+    blocks; ``sigma`` the lognormal shape. Weights across a mixture sum to
+    at most 1; the remainder (plus ``compulsory``) never re-references.
+    """
+
+    weight: float
+    median_blocks: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.weight <= 1.0):
+            raise ValueError(f"weight must be in [0,1], got {self.weight}")
+        if self.median_blocks <= 0:
+            raise ValueError(f"median_blocks must be > 0, got {self.median_blocks}")
+        if self.sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {self.sigma}")
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """Locality model for one reference stream (data or instruction).
+
+    Attributes
+    ----------
+    components:
+        Temporal-reuse mixture; weights must sum to ``1 - compulsory``.
+    compulsory:
+        Fraction of references touching never-seen blocks (cold misses at
+        32-byte granularity).
+    spatial_seq:
+        Fraction of references that fall in the block adjacent to their
+        predecessor — larger cache lines convert these into hits.
+    footprint_exponent:
+        How reuse distances compact when measured at coarser granularity:
+        ``d_L = d_32 * (32/L)**footprint_exponent``. 1.0 for dense
+        sequential data, near 0 for pointer-chasing sparse data.
+    page_median, page_sigma:
+        Lognormal reuse distance in distinct pages, for TLB modeling.
+    """
+
+    components: tuple[ReuseComponent, ...]
+    compulsory: float
+    spatial_seq: float
+    footprint_exponent: float
+    page_median: float
+    page_sigma: float
+
+    def __post_init__(self) -> None:
+        total = sum(c.weight for c in self.components) + self.compulsory
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"mixture weights + compulsory exceed 1 ({total})")
+        if not (0.0 <= self.compulsory <= 0.5):
+            raise ValueError(f"compulsory must be in [0, 0.5], got {self.compulsory}")
+        if not (0.0 <= self.spatial_seq < 1.0):
+            raise ValueError(f"spatial_seq must be in [0,1), got {self.spatial_seq}")
+        if not (0.0 <= self.footprint_exponent <= 1.0):
+            raise ValueError(
+                f"footprint_exponent must be in [0,1], got {self.footprint_exponent}"
+            )
+
+    @property
+    def reuse_weight(self) -> float:
+        """Total weight of temporal-reuse components."""
+        return sum(c.weight for c in self.components)
+
+
+@dataclass(frozen=True)
+class BranchBehavior:
+    """Composition of the dynamic branch population.
+
+    ``frac_biased`` branches are taken with probability ``bias`` (or
+    1-bias); ``frac_pattern`` follow short deterministic patterns with
+    periods in [min_period, max_period] (two-level predictors learn these);
+    the rest are data-dependent coin flips.
+    """
+
+    frac_biased: float
+    bias: float
+    frac_pattern: float
+    min_period: int = 2
+    max_period: int = 6
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.frac_biased <= 1.0) or not (0.0 <= self.frac_pattern <= 1.0):
+            raise ValueError("branch class fractions must be in [0,1]")
+        if self.frac_biased + self.frac_pattern > 1.0 + 1e-9:
+            raise ValueError("branch class fractions exceed 1")
+        if not (0.5 <= self.bias <= 1.0):
+            raise ValueError(f"bias must be in [0.5, 1], got {self.bias}")
+        if not (2 <= self.min_period <= self.max_period):
+            raise ValueError("need 2 <= min_period <= max_period")
+
+    @property
+    def frac_random(self) -> float:
+        return max(0.0, 1.0 - self.frac_biased - self.frac_pattern)
+
+
+@dataclass(frozen=True)
+class IlpBehavior:
+    """Instruction- and memory-level parallelism of the workload.
+
+    ``ilp_inf`` is the IPC an infinitely wide machine could sustain;
+    a window of R entries achieves ``ilp_inf * (1 - exp(-R / window_tau))``.
+    ``mlp_inf`` bounds how many long-latency misses overlap; a window of R
+    achieves ``1 + (mlp_inf - 1) * (1 - exp(-R / mlp_tau))`` overlapped
+    misses, dividing the effective miss penalty.
+    """
+
+    ilp_inf: float
+    window_tau: float
+    mlp_inf: float
+    mlp_tau: float
+
+    def __post_init__(self) -> None:
+        if self.ilp_inf <= 0 or self.window_tau <= 0 or self.mlp_tau <= 0:
+            raise ValueError("ILP parameters must be positive")
+        if self.mlp_inf < 1.0:
+            raise ValueError(f"mlp_inf must be >= 1, got {self.mlp_inf}")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Complete statistical model of one SPEC CPU2000 application."""
+
+    name: str
+    suite: str  # "int" or "fp"
+    mix: Mapping[str, float]  # load/store/branch/imult/fpalu/fpmult; rest = ialu
+    data: MemoryBehavior
+    inst: MemoryBehavior
+    branches: BranchBehavior
+    ilp: IlpBehavior
+    n_phases: int = 4
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"suite must be 'int' or 'fp', got {self.suite!r}")
+        allowed = {"load", "store", "branch", "imult", "fpalu", "fpmult"}
+        unknown = set(self.mix) - allowed
+        if unknown:
+            raise ValueError(f"unknown mix keys: {sorted(unknown)}")
+        total = sum(self.mix.values())
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"mix fractions exceed 1 ({total})")
+        if self.n_phases < 1:
+            raise ValueError(f"n_phases must be >= 1, got {self.n_phases}")
+
+    @property
+    def ialu_fraction(self) -> float:
+        """Plain integer-ALU fraction (the remainder of the mix)."""
+        return max(0.0, 1.0 - sum(self.mix.values()))
+
+    def mix_fraction(self, key: str) -> float:
+        return float(self.mix.get(key, 0.0))
+
+
+def _mem(
+    comps: list[tuple[float, float, float]],
+    compulsory: float,
+    spatial: float,
+    fexp: float,
+    page_median: float,
+    page_sigma: float = 1.2,
+) -> MemoryBehavior:
+    return MemoryBehavior(
+        components=tuple(ReuseComponent(w, m, s) for w, m, s in comps),
+        compulsory=compulsory,
+        spatial_seq=spatial,
+        footprint_exponent=fexp,
+        page_median=page_median,
+        page_sigma=page_sigma,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profiles. Reuse distances are in 32-byte blocks: 1 KB = 32, 1 MB = 32768.
+# The five presented applications are calibrated against §4.1's reported
+# range/variation of simulated cycles; the other seven fill out the suite
+# the paper drew from (Phansalkar et al.) with representative behaviour.
+# ---------------------------------------------------------------------------
+
+SPEC2000_PROFILES: dict[str, WorkloadProfile] = {}
+
+
+def _register(profile: WorkloadProfile) -> WorkloadProfile:
+    SPEC2000_PROFILES[profile.name] = profile
+    return profile
+
+
+_register(WorkloadProfile(
+    name="applu",
+    suite="fp",
+    description="Parabolic/elliptic PDE solver: dense, regular, prefetch-friendly.",
+    mix={"load": 0.26, "store": 0.09, "branch": 0.03, "imult": 0.01,
+         "fpalu": 0.28, "fpmult": 0.14},
+    data=_mem(
+        # Dense blocked loops: dominant near reuse, tiny L2-level tail.
+        [(0.994, 35.0, 1.1), (0.003, 4.0e3, 1.1), (0.001, 1.5e5, 0.9)],
+        compulsory=0.002, spatial=0.62, fexp=0.9, page_median=6.0,
+        page_sigma=1.0,
+    ),
+    inst=_mem(
+        [(0.9999, 18.0, 0.9)],
+        compulsory=0.0001, spatial=0.85, fexp=1.0, page_median=2.0,
+        page_sigma=0.8,
+    ),
+    branches=BranchBehavior(frac_biased=0.85, bias=0.97, frac_pattern=0.12,
+                            min_period=2, max_period=4),
+    ilp=IlpBehavior(ilp_inf=4.4, window_tau=48.0, mlp_inf=5.0, mlp_tau=70.0),
+    n_phases=3,
+))
+
+_register(WorkloadProfile(
+    name="equake",
+    suite="fp",
+    description="Seismic FEM: sparse matrix-vector work, indirection-limited.",
+    mix={"load": 0.33, "store": 0.08, "branch": 0.05, "imult": 0.01,
+         "fpalu": 0.25, "fpmult": 0.12},
+    data=_mem(
+        [(0.9925, 60.0, 1.2), (0.003, 2.0e3, 1.0), (0.0015, 3.0e5, 0.9)],
+        compulsory=0.003, spatial=0.45, fexp=0.7, page_median=7.0,
+        page_sigma=1.0,
+    ),
+    inst=_mem(
+        [(0.9999, 22.0, 0.9)],
+        compulsory=0.0001, spatial=0.85, fexp=1.0, page_median=2.5,
+        page_sigma=0.8,
+    ),
+    branches=BranchBehavior(frac_biased=0.80, bias=0.96, frac_pattern=0.14,
+                            min_period=2, max_period=5),
+    ilp=IlpBehavior(ilp_inf=3.0, window_tau=55.0, mlp_inf=4.2, mlp_tau=80.0),
+    n_phases=3,
+))
+
+_register(WorkloadProfile(
+    name="gcc",
+    suite="int",
+    description="Compiler: large code footprint (I-cache bound), branchy, "
+                "irregular heap data.",
+    mix={"load": 0.25, "store": 0.11, "branch": 0.20, "imult": 0.01,
+         "fpalu": 0.0, "fpmult": 0.0},
+    data=_mem(
+        [(0.9135, 60.0, 1.4), (0.085, 6.0e2, 1.0)],
+        compulsory=0.0015, spatial=0.35, fexp=0.5, page_median=20.0,
+        page_sigma=1.1,
+    ),
+    inst=_mem(
+        # ~50-100 KB hot code: the L1I sizes of the design space straddle
+        # the knee, so gcc is strongly I-cache sensitive; L2 catches the rest.
+        [(0.9095, 30.0, 1.2), (0.090, 9.0e2, 1.0)],
+        compulsory=0.0005, spatial=0.70, fexp=0.95, page_median=4.0,
+        page_sigma=1.0,
+    ),
+    branches=BranchBehavior(frac_biased=0.70, bias=0.94, frac_pattern=0.22,
+                            min_period=2, max_period=6),
+    ilp=IlpBehavior(ilp_inf=2.6, window_tau=40.0, mlp_inf=2.6, mlp_tau=90.0),
+    n_phases=6,
+))
+
+_register(WorkloadProfile(
+    name="mesa",
+    suite="fp",
+    description="Software 3-D rendering: mixed regular/irregular, moderate sets.",
+    mix={"load": 0.27, "store": 0.10, "branch": 0.09, "imult": 0.02,
+         "fpalu": 0.20, "fpmult": 0.10},
+    data=_mem(
+        [(0.984, 50.0, 1.3), (0.010, 2.5e3, 1.0), (0.002, 2.0e5, 0.9)],
+        compulsory=0.004, spatial=0.50, fexp=0.75, page_median=8.0,
+        page_sigma=1.0,
+    ),
+    inst=_mem(
+        [(0.9897, 40.0, 1.1), (0.010, 6.0e2, 1.1)],
+        compulsory=0.0003, spatial=0.80, fexp=1.0, page_median=3.0,
+        page_sigma=1.0,
+    ),
+    branches=BranchBehavior(frac_biased=0.86, bias=0.95, frac_pattern=0.10,
+                            min_period=2, max_period=6),
+    ilp=IlpBehavior(ilp_inf=2.4, window_tau=50.0, mlp_inf=3.2, mlp_tau=85.0),
+    n_phases=4,
+))
+
+_register(WorkloadProfile(
+    name="mcf",
+    suite="int",
+    description="Network-simplex optimizer: pointer chasing over a ~100 MB "
+                "graph; the most memory-bound app in the suite.",
+    mix={"load": 0.35, "store": 0.09, "branch": 0.19, "imult": 0.0,
+         "fpalu": 0.0, "fpmult": 0.0},
+    data=_mem(
+        # mid straddles the L2 sizes, far straddles L3-present vs absent,
+        # vfar is the irreducible ~100 MB graph tail.
+        [(0.7070, 25.0, 1.4), (0.030, 6.0e3, 1.2), (0.260, 1.8e4, 0.6),
+         (0.001, 4.0e6, 0.8)],
+        compulsory=0.002, spatial=0.18, fexp=0.15, page_median=17.8,
+        page_sigma=1.4,
+    ),
+    inst=_mem(
+        [(0.9999, 30.0, 1.1)],
+        compulsory=0.0001, spatial=0.85, fexp=1.0, page_median=2.0,
+        page_sigma=0.8,
+    ),
+    branches=BranchBehavior(frac_biased=0.72, bias=0.94, frac_pattern=0.14,
+                            min_period=2, max_period=5),
+    ilp=IlpBehavior(ilp_inf=2.0, window_tau=45.0, mlp_inf=3.6, mlp_tau=120.0),
+    n_phases=3,
+))
+
+# --- the remaining seven applications of the 12-app study ------------------
+
+_register(WorkloadProfile(
+    name="gzip",
+    suite="int",
+    description="LZ77 compression: small hot loops, window-sized data reuse.",
+    mix={"load": 0.22, "store": 0.08, "branch": 0.17, "imult": 0.0,
+         "fpalu": 0.0, "fpmult": 0.0},
+    data=_mem(
+        [(0.979, 70.0, 1.4), (0.015, 4.0e3, 1.1)],
+        compulsory=0.006, spatial=0.55, fexp=0.8, page_median=8.0,
+        page_sigma=1.0,
+    ),
+    inst=_mem([(0.9999, 25.0, 1.1)], 0.0001, 0.85, 1.0, 2.0, 0.8),
+    branches=BranchBehavior(frac_biased=0.74, bias=0.93, frac_pattern=0.16),
+    ilp=IlpBehavior(ilp_inf=2.8, window_tau=42.0, mlp_inf=2.4, mlp_tau=80.0),
+    n_phases=3,
+))
+
+_register(WorkloadProfile(
+    name="vpr",
+    suite="int",
+    description="FPGA place & route: graph walks with moderate locality.",
+    mix={"load": 0.28, "store": 0.09, "branch": 0.15, "imult": 0.01,
+         "fpalu": 0.05, "fpmult": 0.02},
+    data=_mem(
+        [(0.953, 100.0, 1.5), (0.035, 1.0e4, 1.2), (0.005, 2.5e5, 0.9)],
+        compulsory=0.007, spatial=0.35, fexp=0.45, page_median=20.0,
+        page_sigma=1.2,
+    ),
+    inst=_mem([(0.9997, 90.0, 1.2)], 0.0003, 0.82, 1.0, 3.0, 1.0),
+    branches=BranchBehavior(frac_biased=0.68, bias=0.92, frac_pattern=0.18),
+    ilp=IlpBehavior(ilp_inf=2.4, window_tau=44.0, mlp_inf=2.8, mlp_tau=95.0),
+    n_phases=4,
+))
+
+_register(WorkloadProfile(
+    name="crafty",
+    suite="int",
+    description="Chess search: branch-heavy, cache-resident data.",
+    mix={"load": 0.24, "store": 0.07, "branch": 0.18, "imult": 0.01,
+         "fpalu": 0.0, "fpmult": 0.0},
+    data=_mem(
+        [(0.983, 65.0, 1.4), (0.013, 3.0e3, 1.1)],
+        compulsory=0.004, spatial=0.40, fexp=0.7, page_median=6.0,
+        page_sigma=1.0,
+    ),
+    inst=_mem(
+        [(0.9695, 90.0, 1.2), (0.030, 9.0e2, 0.8)],
+        compulsory=0.0005, spatial=0.78, fexp=1.0, page_median=5.0,
+        page_sigma=1.0,
+    ),
+    branches=BranchBehavior(frac_biased=0.70, bias=0.92, frac_pattern=0.16,
+                            min_period=2, max_period=6),
+    ilp=IlpBehavior(ilp_inf=2.9, window_tau=38.0, mlp_inf=2.0, mlp_tau=70.0),
+    n_phases=3,
+))
+
+_register(WorkloadProfile(
+    name="parser",
+    suite="int",
+    description="Link-grammar NL parser: dictionary lookups, mallocs.",
+    mix={"load": 0.26, "store": 0.10, "branch": 0.18, "imult": 0.0,
+         "fpalu": 0.0, "fpmult": 0.0},
+    data=_mem(
+        [(0.960, 85.0, 1.5), (0.030, 8.0e3, 1.2), (0.004, 2.0e5, 0.9)],
+        compulsory=0.006, spatial=0.30, fexp=0.4, page_median=16.0,
+        page_sigma=1.1,
+    ),
+    inst=_mem([(0.9996, 120.0, 1.2)], 0.0004, 0.80, 1.0, 4.0, 1.0),
+    branches=BranchBehavior(frac_biased=0.70, bias=0.93, frac_pattern=0.16),
+    ilp=IlpBehavior(ilp_inf=2.3, window_tau=40.0, mlp_inf=2.5, mlp_tau=90.0),
+    n_phases=4,
+))
+
+_register(WorkloadProfile(
+    name="swim",
+    suite="fp",
+    description="Shallow-water stencil: streaming over large grids.",
+    mix={"load": 0.30, "store": 0.12, "branch": 0.02, "imult": 0.0,
+         "fpalu": 0.30, "fpmult": 0.14},
+    data=_mem(
+        [(0.800, 70.0, 1.3), (0.050, 3.0e4, 1.0), (0.020, 1.0e6, 0.8)],
+        compulsory=0.015, spatial=0.70, fexp=0.95, page_median=40.0,
+        page_sigma=1.2,
+    ),
+    inst=_mem([(0.999, 20.0, 1.0)], 0.0001, 0.88, 1.0, 2.0, 0.8),
+    branches=BranchBehavior(frac_biased=0.92, bias=0.985, frac_pattern=0.06),
+    ilp=IlpBehavior(ilp_inf=4.0, window_tau=52.0, mlp_inf=6.0, mlp_tau=60.0),
+    n_phases=2,
+))
+
+_register(WorkloadProfile(
+    name="art",
+    suite="fp",
+    description="Neural-net image recognition: repeated sweeps over a "
+                "few-MB weight array.",
+    mix={"load": 0.32, "store": 0.07, "branch": 0.08, "imult": 0.0,
+         "fpalu": 0.28, "fpmult": 0.12},
+    data=_mem(
+        [(0.850, 60.0, 1.3), (0.040, 2.0e4, 1.0), (0.050, 1.2e5, 0.7)],
+        compulsory=0.004, spatial=0.55, fexp=0.85, page_median=30.0,
+        page_sigma=1.2,
+    ),
+    inst=_mem([(0.999, 25.0, 1.0)], 0.0001, 0.86, 1.0, 2.0, 0.8),
+    branches=BranchBehavior(frac_biased=0.84, bias=0.96, frac_pattern=0.10),
+    ilp=IlpBehavior(ilp_inf=3.2, window_tau=48.0, mlp_inf=5.0, mlp_tau=75.0),
+    n_phases=2,
+))
+
+_register(WorkloadProfile(
+    name="lucas",
+    suite="fp",
+    description="Lucas-Lehmer primality FFTs: strided passes, fp-mult heavy.",
+    mix={"load": 0.24, "store": 0.10, "branch": 0.02, "imult": 0.01,
+         "fpalu": 0.24, "fpmult": 0.22},
+    data=_mem(
+        [(0.900, 90.0, 1.3), (0.040, 2.5e4, 1.0), (0.006, 5.0e5, 0.8)],
+        compulsory=0.006, spatial=0.60, fexp=0.9, page_median=25.0,
+        page_sigma=1.1,
+    ),
+    inst=_mem([(0.999, 25.0, 1.0)], 0.0001, 0.88, 1.0, 2.0, 0.8),
+    branches=BranchBehavior(frac_biased=0.93, bias=0.985, frac_pattern=0.05),
+    ilp=IlpBehavior(ilp_inf=3.8, window_tau=55.0, mlp_inf=4.5, mlp_tau=70.0),
+    n_phases=2,
+))
+
+#: The five applications whose results the paper presents (§4.1).
+PRESENTED_APPS: tuple[str, ...] = ("applu", "equake", "gcc", "mesa", "mcf")
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload profile by application name."""
+    try:
+        return SPEC2000_PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(SPEC2000_PROFILES)}"
+        ) from None

@@ -1,0 +1,190 @@
+"""The 32-parameter SPEC announcement record schema (paper §4.1).
+
+Every SPEC CPU2000 result announcement carries a configuration description;
+the paper enumerates 32 system parameters: "company, system name, processor
+model, bus frequency, processor speed, floating point unit, total cores
+(total chips, cores per chip), SMT (yes/no), Parallel (yes/no), L1
+instruction and data cache size (per core/chip), L2 data cache size (on/off
+chip, shared/nonshared, unified/nonunified), L3 cache size (on/off chip,
+per core/chip, shared/nonshared, unified/nonunified), L4 cache size
+(# shared, on/off chip), memory size and frequency, hard drive size, speed
+and type, and extra components."
+
+:class:`SystemRecord` captures exactly those 32 fields plus the announce
+date and the published ratings. :func:`records_to_dataset` converts a batch
+into the typed :class:`~repro.ml.dataset.Dataset` the models consume —
+numeric fields numeric, yes/no fields flags, and free-text fields
+categorical (which linear regression then omits, per §3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.dataset import Column, ColumnRole, Dataset
+
+__all__ = ["SystemRecord", "records_to_dataset", "PARAMETER_FIELDS"]
+
+
+@dataclass(frozen=True)
+class SystemRecord:
+    """One SPEC announcement: 32 configuration parameters + results."""
+
+    # --- identity / provenance (not predictors) ---
+    family: str              # e.g. "opteron-2"; the per-family analysis key
+    year: int                # announcement year
+    quarter: int             # 1..4
+
+    # --- the 32 system parameters ---
+    company: str             # 1
+    system_name: str         # 2
+    processor_model: str     # 3
+    bus_frequency: float     # 4  (MHz)
+    processor_speed: float   # 5  (MHz)
+    fpu_integrated: bool     # 6
+    total_cores: int         # 7
+    total_chips: int         # 8
+    cores_per_chip: int      # 9
+    smt: bool                # 10
+    parallel: bool           # 11
+    l1i_size: float          # 12 (KB per core)
+    l1d_size: float          # 13 (KB per core)
+    l1_per_core: bool        # 14 (True: per core; False: per chip/shared)
+    l2_size: float           # 15 (KB)
+    l2_onchip: bool          # 16
+    l2_shared: bool          # 17
+    l2_unified: bool         # 18
+    l3_size: float           # 19 (KB, 0 = none)
+    l3_onchip: bool          # 20
+    l3_per_core: bool        # 21
+    l3_shared: bool          # 22
+    l3_unified: bool         # 23
+    l4_size: float           # 24 (KB, 0 = none)
+    l4_shared_count: int     # 25
+    l4_onchip: bool          # 26
+    memory_size: float       # 27 (GB)
+    memory_frequency: float  # 28 (MHz)
+    hd_size: float           # 29 (GB)
+    hd_speed: float          # 30 (RPM)
+    hd_type: str             # 31 (SCSI / SATA / SAS / IDE)
+    extra_components: str    # 32 (none / raid / extra-nic ...)
+
+    # --- published results ---
+    specint_rate: float
+    specfp_rate: float
+    #: Optional per-application ratios, keyed by app name (e.g. "181.mcf").
+    #: SPEC announcements publish these alongside the geometric-mean rates;
+    #: the paper notes individual applications "can also be accurately
+    #: estimated" (§4).
+    app_ratios: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.quarter <= 4):
+            raise ValueError(f"quarter must be 1..4, got {self.quarter}")
+        if self.processor_speed <= 0 or self.bus_frequency <= 0:
+            raise ValueError("processor_speed and bus_frequency must be positive")
+        if self.total_cores != self.total_chips * self.cores_per_chip:
+            raise ValueError(
+                f"total_cores {self.total_cores} != chips {self.total_chips} "
+                f"x cores/chip {self.cores_per_chip}"
+            )
+        if min(self.l1i_size, self.l1d_size, self.l2_size) <= 0:
+            raise ValueError("L1/L2 sizes must be positive")
+        if self.l3_size < 0 or self.l4_size < 0:
+            raise ValueError("cache sizes cannot be negative")
+        if self.specint_rate <= 0 or self.specfp_rate <= 0:
+            raise ValueError("ratings must be positive")
+        if any(v <= 0 for _, v in self.app_ratios):
+            raise ValueError("per-app ratios must be positive")
+
+    def app_ratio(self, app: str) -> float:
+        """Published ratio of one application (KeyError if absent)."""
+        for name, value in self.app_ratios:
+            if name == app:
+                return value
+        raise KeyError(
+            f"no ratio for {app!r}; available: {[n for n, _ in self.app_ratios]}"
+        )
+
+
+#: (record attribute, dataset role) for the 32 predictor parameters.
+PARAMETER_FIELDS: tuple[tuple[str, ColumnRole], ...] = (
+    ("company", ColumnRole.CATEGORICAL),
+    ("system_name", ColumnRole.CATEGORICAL),
+    ("processor_model", ColumnRole.CATEGORICAL),
+    ("bus_frequency", ColumnRole.NUMERIC),
+    ("processor_speed", ColumnRole.NUMERIC),
+    ("fpu_integrated", ColumnRole.FLAG),
+    ("total_cores", ColumnRole.NUMERIC),
+    ("total_chips", ColumnRole.NUMERIC),
+    ("cores_per_chip", ColumnRole.NUMERIC),
+    ("smt", ColumnRole.FLAG),
+    ("parallel", ColumnRole.FLAG),
+    ("l1i_size", ColumnRole.NUMERIC),
+    ("l1d_size", ColumnRole.NUMERIC),
+    ("l1_per_core", ColumnRole.FLAG),
+    ("l2_size", ColumnRole.NUMERIC),
+    ("l2_onchip", ColumnRole.FLAG),
+    ("l2_shared", ColumnRole.FLAG),
+    ("l2_unified", ColumnRole.FLAG),
+    ("l3_size", ColumnRole.NUMERIC),
+    ("l3_onchip", ColumnRole.FLAG),
+    ("l3_per_core", ColumnRole.FLAG),
+    ("l3_shared", ColumnRole.FLAG),
+    ("l3_unified", ColumnRole.FLAG),
+    ("l4_size", ColumnRole.NUMERIC),
+    ("l4_shared_count", ColumnRole.NUMERIC),
+    ("l4_onchip", ColumnRole.FLAG),
+    ("memory_size", ColumnRole.NUMERIC),
+    ("memory_frequency", ColumnRole.NUMERIC),
+    ("hd_size", ColumnRole.NUMERIC),
+    ("hd_speed", ColumnRole.NUMERIC),
+    ("hd_type", ColumnRole.CATEGORICAL),
+    ("extra_components", ColumnRole.CATEGORICAL),
+)
+
+# Sanity: the schema really does expose 32 parameters.
+assert len(PARAMETER_FIELDS) == 32
+_KNOWN = {f.name for f in fields(SystemRecord)}
+assert all(name in _KNOWN for name, _ in PARAMETER_FIELDS)
+
+
+def records_to_dataset(
+    records: Sequence[SystemRecord],
+    target: str = "specint_rate",
+) -> Dataset:
+    """Convert announcement records into a typed modeling dataset.
+
+    Parameters
+    ----------
+    records:
+        The announcements (typically one family, one or more years).
+    target:
+        ``"specint_rate"``, ``"specfp_rate"``, or ``"app:<name>"`` for an
+        individual application's published ratio (e.g. ``"app:181.mcf"``).
+    """
+    if not records:
+        raise ValueError("no records given")
+    app_target: str | None = None
+    if target.startswith("app:"):
+        app_target = target[4:]
+    elif target not in ("specint_rate", "specfp_rate"):
+        raise ValueError(f"target must be a rating field or 'app:<name>', got {target!r}")
+    columns = []
+    for name, role in PARAMETER_FIELDS:
+        values = [getattr(r, name) for r in records]
+        if role is ColumnRole.NUMERIC:
+            arr = np.array(values, dtype=np.float64)
+        elif role is ColumnRole.FLAG:
+            arr = np.array(values, dtype=bool)
+        else:
+            arr = np.array([str(v) for v in values], dtype=object)
+        columns.append(Column(name, role, arr))
+    if app_target is not None:
+        y = np.array([r.app_ratio(app_target) for r in records], dtype=np.float64)
+    else:
+        y = np.array([getattr(r, target) for r in records], dtype=np.float64)
+    return Dataset(columns, y, target_name=target)

@@ -1,0 +1,41 @@
+"""Shared utilities: RNG streams, summary statistics, table rendering."""
+
+from repro.util.rng import RngFactory, child_rng, stream_seed
+from repro.util.stats import (
+    DataProfile,
+    geometric_mean,
+    mean_absolute_percentage_error,
+    percentage_errors,
+    profile_responses,
+    response_range,
+    response_variation,
+)
+from repro.util.tables import format_kv, format_series, format_table
+from repro.util.validation import (
+    require_fraction,
+    require_in_range,
+    require_one_of,
+    require_positive,
+    require_power_of_two,
+)
+
+__all__ = [
+    "RngFactory",
+    "child_rng",
+    "stream_seed",
+    "DataProfile",
+    "geometric_mean",
+    "mean_absolute_percentage_error",
+    "percentage_errors",
+    "profile_responses",
+    "response_range",
+    "response_variation",
+    "format_kv",
+    "format_series",
+    "format_table",
+    "require_fraction",
+    "require_in_range",
+    "require_one_of",
+    "require_positive",
+    "require_power_of_two",
+]

@@ -1,0 +1,89 @@
+"""Deterministic random-number-stream management.
+
+Every stochastic component in the library (workload generators, dataset
+generators, model initializers, samplers) draws from a named child stream of
+a single root seed so that
+
+* results are exactly reproducible given a seed,
+* independent components have statistically independent streams, and
+* adding a new consumer never perturbs existing ones (streams are keyed by
+  name, not by draw order).
+
+This mirrors the practice recommended for parallel scientific codes: derive
+per-task generators from ``numpy.random.SeedSequence`` spawns rather than
+sharing one generator across tasks.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["RngFactory", "child_rng", "stream_seed"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def stream_seed(root_seed: int, *names: str | int) -> int:
+    """Derive a deterministic 64-bit seed for a named stream.
+
+    The derivation hashes the names with CRC32 (stable across Python runs,
+    unlike ``hash``) and folds them into the root seed.
+    """
+    acc = root_seed & 0xFFFFFFFFFFFFFFFF
+    for name in names:
+        token = str(name).encode("utf-8")
+        h = zlib.crc32(token) & _MASK32
+        acc = (acc * 6364136223846793005 + h + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+def child_rng(root_seed: int, *names: str | int) -> np.random.Generator:
+    """Return an independent ``numpy`` generator for the named stream."""
+    return np.random.default_rng(stream_seed(root_seed, *names))
+
+
+class RngFactory:
+    """Factory of named, independent random streams under one root seed.
+
+    Examples
+    --------
+    >>> rngs = RngFactory(1234)
+    >>> a = rngs.get("trace", "mcf")
+    >>> b = rngs.get("trace", "gcc")
+    >>> a is not b
+    True
+    >>> float(rngs.get("trace", "mcf").random()) == float(RngFactory(1234).get("trace", "mcf").random())
+    True
+    """
+
+    def __init__(self, root_seed: int) -> None:
+        if not isinstance(root_seed, (int, np.integer)):
+            raise TypeError(f"root_seed must be an int, got {type(root_seed).__name__}")
+        self.root_seed = int(root_seed)
+
+    def seed(self, *names: str | int) -> int:
+        """Derive the integer seed of a named stream."""
+        return stream_seed(self.root_seed, *names)
+
+    def get(self, *names: str | int) -> np.random.Generator:
+        """Return a fresh generator for the named stream.
+
+        Each call returns a *new* generator positioned at the stream start,
+        so repeated calls with the same name replay the same sequence.
+        """
+        return child_rng(self.root_seed, *names)
+
+    def spawn(self, *names: str | int) -> "RngFactory":
+        """Create a sub-factory rooted at a named stream (for subsystems)."""
+        return RngFactory(self.seed(*names))
+
+    def many(self, prefix: str, count: int) -> Iterable[np.random.Generator]:
+        """Yield ``count`` independent generators ``prefix/0 .. prefix/count-1``."""
+        for i in range(count):
+            yield self.get(prefix, i)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RngFactory(root_seed={self.root_seed})"

@@ -1,0 +1,84 @@
+"""Plain-text rendering of result tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _fmt_cell(value: object, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    ndigits: int = 2,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; floats are formatted to ``ndigits``.
+    title:
+        Optional title line printed above the table.
+    """
+    str_rows = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[j]) for j, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    ndigits: int = 2,
+) -> str:
+    """Render figure-style series (one column per named curve)."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points but x has {len(x_values)}"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(s[i] for s in series.values())]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title, ndigits=ndigits)
+
+
+def format_kv(pairs: Mapping[str, object], title: str | None = None, ndigits: int = 3) -> str:
+    """Render key/value pairs one per line (for model summaries)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(width)} : {_fmt_cell(value, ndigits)}")
+    return "\n".join(lines)

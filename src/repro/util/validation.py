@@ -1,0 +1,47 @@
+"""Small argument-validation helpers shared across packages."""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+    "require_one_of",
+    "require_fraction",
+]
+
+T = TypeVar("T")
+
+
+def require_positive(value: float | int, name: str) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(value: float, name: str, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def require_fraction(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``0 < value <= 1``."""
+    if not (0.0 < value <= 1.0):
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if not (isinstance(value, (int, np.integer)) and value > 0 and (value & (value - 1)) == 0):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def require_one_of(value: T, name: str, allowed: Sequence[T]) -> None:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {list(allowed)!r}, got {value!r}")

@@ -1,0 +1,88 @@
+"""Shared fixtures: cached design-space sweeps, traces, and archives.
+
+Heavy artifacts (the 4608-config space, simulated cycle vectors, synthetic
+traces, announcement archives) are computed once per session and shared
+across test modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    enumerate_design_space,
+    design_space_dataset,
+    generate_trace,
+    get_profile,
+    sweep_design_space,
+)
+from repro.specdata import generate_family_records
+
+#: Seed used by every deterministic test artifact.
+TEST_SEED = 1234
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(TEST_SEED)
+
+
+@pytest.fixture(scope="session")
+def design_space():
+    """All 4608 Table-1 configurations."""
+    return list(enumerate_design_space())
+
+
+@pytest.fixture(scope="session")
+def cycles_cache(design_space):
+    """Factory: app name -> simulated cycles over the full space (cached)."""
+    cache: dict[str, np.ndarray] = {}
+
+    def get(app: str) -> np.ndarray:
+        if app not in cache:
+            cache[app] = sweep_design_space(design_space, get_profile(app))
+        return cache[app]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def space_dataset(design_space, cycles_cache):
+    """Factory: app name -> full design-space ML dataset (cached)."""
+    cache = {}
+
+    def get(app: str):
+        if app not in cache:
+            cache[app] = design_space_dataset(design_space, cycles_cache(app))
+        return cache[app]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def trace_cache():
+    """Factory: (app, n) -> synthetic trace (cached)."""
+    cache = {}
+
+    def get(app: str, n: int = 60_000):
+        key = (app, n)
+        if key not in cache:
+            cache[key] = generate_trace(get_profile(app), n, seed=TEST_SEED)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def spec_archive():
+    """Factory: family -> generated announcement records (cached)."""
+    cache = {}
+
+    def get(family: str):
+        if family not in cache:
+            cache[family] = generate_family_records(family, seed=TEST_SEED)
+        return cache[family]
+
+    return get

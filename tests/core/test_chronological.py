@@ -1,0 +1,135 @@
+"""Tests for the chronological prediction workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.chronological import chronological_datasets, run_chronological
+from repro.core.models import model_builders
+
+
+@pytest.fixture(scope="module")
+def lr_builders():
+    return model_builders(("LR-E", "LR-S", "LR-B"), seed=3)
+
+
+class TestDatasets:
+    def test_year_split(self, spec_archive):
+        train, test = chronological_datasets(
+            "opteron", records=spec_archive("opteron"))
+        assert train.n_records == 50   # 2005 count
+        assert test.n_records == 53    # 2006 count
+
+    def test_custom_years(self, spec_archive):
+        train, test = chronological_datasets(
+            "xeon", 2004, 2005, records=spec_archive("xeon"))
+        assert train.n_records == 60
+        assert test.n_records == 72
+
+    def test_missing_year_raises(self, spec_archive):
+        with pytest.raises(ValueError, match="training year"):
+            chronological_datasets("pentium-d", 1999, 2006,
+                                   records=spec_archive("pentium-d"))
+
+    def test_target_choice(self, spec_archive):
+        train, _ = chronological_datasets(
+            "xeon", target="specfp_rate", records=spec_archive("xeon"))
+        assert train.target_name == "specfp_rate"
+
+
+class TestRunChronological:
+    def test_result_structure(self, spec_archive, lr_builders):
+        res = run_chronological("opteron", lr_builders,
+                                records=spec_archive("opteron"))
+        assert res.family == "opteron"
+        assert res.train_year == 2005 and res.test_year == 2006
+        assert set(res.errors) == {"LR-E", "LR-S", "LR-B"}
+        assert set(res.estimates) == set(res.errors)
+
+    def test_lr_accuracy_in_paper_regime(self, spec_archive, lr_builders):
+        # Paper Table 2: Opteron best ~2.1% — ours must land within a few x.
+        res = run_chronological("opteron", lr_builders,
+                                records=spec_archive("opteron"))
+        assert res.best_error < 6.0
+
+    def test_best_label_minimizes_mean(self, spec_archive, lr_builders):
+        res = run_chronological("pentium-d", lr_builders,
+                                records=spec_archive("pentium-d"))
+        assert res.best_error == min(s.mean for s in res.errors.values())
+        assert res.errors[res.best_label].mean == res.best_error
+
+    def test_mean_errors_accessor(self, spec_archive, lr_builders):
+        res = run_chronological("xeon", lr_builders,
+                                records=spec_archive("xeon"))
+        assert set(res.mean_errors()) == set(res.errors)
+
+    def test_error_summaries_have_spread(self, spec_archive, lr_builders):
+        res = run_chronological("xeon", lr_builders,
+                                records=spec_archive("xeon"))
+        for s in res.errors.values():
+            assert s.n == res.n_test
+            assert s.max >= s.mean >= 0.0
+
+    def test_rejects_empty_builders(self, spec_archive):
+        with pytest.raises(ValueError):
+            run_chronological("xeon", {}, records=spec_archive("xeon"))
+
+    def test_deterministic_for_lr(self, spec_archive, lr_builders):
+        a = run_chronological("opteron-2", lr_builders,
+                              records=spec_archive("opteron-2"),
+                              rng=np.random.default_rng(5))
+        b = run_chronological("opteron-2", lr_builders,
+                              records=spec_archive("opteron-2"),
+                              rng=np.random.default_rng(5))
+        assert a.mean_errors() == b.mean_errors()
+
+
+class TestPaperFindings:
+    def test_nn_worse_than_lr_chronologically(self, spec_archive):
+        # §4.3: "the neural networks perform poorer than linear regression".
+        builders = model_builders(("LR-E", "NN-Q"), seed=3)
+        res = run_chronological("opteron", builders,
+                                records=spec_archive("opteron"))
+        assert res.errors["NN-Q"].mean > res.errors["LR-E"].mean
+
+    def test_stepwise_beats_enter_on_sparse_smp(self, spec_archive, lr_builders):
+        # §4.3: LR-S/LR-B win on the multiprocessor data sets where LR-E
+        # over-fits the small training year (Opteron 8: 21 records).
+        res = run_chronological("opteron-8", lr_builders,
+                                records=spec_archive("opteron-8"))
+        assert min(res.errors["LR-S"].mean, res.errors["LR-B"].mean) <= (
+            res.errors["LR-E"].mean
+        )
+
+
+class TestRollingChronological:
+    def test_multiple_folds(self, spec_archive):
+        from repro.core.chronological import run_rolling_chronological
+        from repro.core.models import model_builders
+
+        results = run_rolling_chronological(
+            "xeon", model_builders(("LR-B",)),
+            records=spec_archive("xeon"))
+        pairs = [(r.train_year, r.test_year) for r in results]
+        assert (2004, 2005) in pairs and (2005, 2006) in pairs
+
+    def test_sparse_years_skipped(self, spec_archive):
+        from repro.core.chronological import run_rolling_chronological
+        from repro.core.models import model_builders
+
+        # Pentium 4's 2000 (2 records) and 2001 (4) folds must be skipped.
+        results = run_rolling_chronological(
+            "pentium-4", model_builders(("LR-B",)),
+            records=spec_archive("pentium-4"))
+        assert all(r.n_train >= 8 for r in results)
+
+    def test_findings_hold_across_folds(self, spec_archive):
+        from repro.core.chronological import run_rolling_chronological
+        from repro.core.models import model_builders
+
+        results = run_rolling_chronological(
+            "opteron", model_builders(("LR-B", "NN-Q"), seed=3),
+            records=spec_archive("opteron"))
+        # LR beats NN in (at least) the majority of year folds.
+        wins = sum(r.errors["LR-B"].mean <= r.errors["NN-Q"].mean
+                   for r in results)
+        assert wins >= len(results) - 1

@@ -1,0 +1,57 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.core.models import (
+    ALL_MODELS,
+    NINE_MODELS,
+    SAMPLED_DSE_MODELS,
+    build_model,
+    model_builders,
+)
+from repro.ml.linear import LinearRegressionModel
+from repro.ml.nn import NeuralNetworkModel
+
+
+class TestRegistry:
+    def test_ten_models_total(self):
+        # "we use a total of nine models" + the NN-S single-layer variant.
+        assert len(ALL_MODELS) == 10
+        assert len(NINE_MODELS) == 9
+        assert "NN-S" not in NINE_MODELS
+
+    def test_sampled_dse_models(self):
+        # Figures 2-6 present "the best LR model (LR-B), the best NN model
+        # (NN-E), and a fast NN model (NN-S)".
+        assert SAMPLED_DSE_MODELS == ("NN-E", "NN-S", "LR-B")
+
+    def test_labels_match_instances(self):
+        for label in ALL_MODELS:
+            assert build_model(label).name == label
+
+    def test_kinds(self):
+        assert isinstance(build_model("LR-B"), LinearRegressionModel)
+        assert isinstance(build_model("NN-E"), NeuralNetworkModel)
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            build_model("SVM")
+
+
+class TestBuilders:
+    def test_factories_produce_fresh_instances(self):
+        builders = model_builders(("LR-B", "NN-Q"), seed=3)
+        a, b = builders["NN-Q"](), builders["NN-Q"]()
+        assert a is not b
+        assert a.seed == b.seed == 3
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            model_builders(("LR-B", "GBM"))
+
+    def test_factories_picklable(self):
+        import pickle
+
+        builders = model_builders(("LR-B",))
+        clone = pickle.loads(pickle.dumps(builders["LR-B"]))
+        assert clone().name == "LR-B"

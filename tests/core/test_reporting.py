@@ -1,0 +1,85 @@
+"""Tests for the paper-shaped report assembly."""
+
+import pytest
+
+from repro.core.chronological import ChronologicalResult
+from repro.core.reporting import (
+    figure_chronological_table,
+    figure_sampled_series,
+    table2,
+    table3,
+)
+from repro.core.sampled import ModelOutcome, SampledDseResult
+from repro.ml.metrics import ErrorSummary
+from repro.ml.selection import ErrorEstimate
+
+
+def _outcome(label, true_err, est):
+    return ModelOutcome(label, ErrorEstimate(label, (est, est + 0.5)), true_err)
+
+
+def _dse(rate, errs):
+    outcomes = {k: _outcome(k, v, v * 0.9) for k, v in errs.items()}
+    select = min(outcomes, key=lambda k: outcomes[k].estimate.max)
+    return SampledDseResult(rate, int(rate * 4608), outcomes,
+                            select, outcomes[select].true_error)
+
+
+def _chrono(family, errs):
+    return ChronologicalResult(
+        family=family, train_year=2005, test_year=2006,
+        n_train=50, n_test=53,
+        errors={k: ErrorSummary(v, v / 2, v * 2, 53) for k, v in errs.items()},
+        estimates={k: ErrorEstimate(k, (v,)) for k, v in errs.items()},
+    )
+
+
+class TestFigureSampledSeries:
+    def test_contains_est_and_true_curves(self):
+        results = [_dse(0.01, {"NN-E": 2.0, "LR-B": 4.0}),
+                   _dse(0.02, {"NN-E": 1.5, "LR-B": 3.9})]
+        out = figure_sampled_series("applu", results, ["NN-E", "LR-B"])
+        assert "NN-E" in out and "NN-E-est" in out
+        assert "select" in out
+        assert "1%" in out and "2%" in out
+
+
+class TestFigureChronologicalTable:
+    def test_mean_and_std_rendered(self):
+        out = figure_chronological_table(_chrono("xeon", {"LR-E": 2.1, "NN-Q": 6.0}))
+        assert "xeon" in out and "LR-E" in out
+        assert "2.10" in out
+
+
+class TestTable2:
+    def test_best_method_per_family(self):
+        out = table2({
+            "xeon": _chrono("xeon", {"LR-E": 2.1, "LR-B": 2.4}),
+            "opteron-8": _chrono("opteron-8", {"LR-E": 4.0, "LR-B": 3.5}),
+        })
+        lines = out.splitlines()
+        assert any("xeon" in ln and "LR-E" in ln for ln in lines)
+        assert any("opteron-8" in ln and "LR-B" in ln for ln in lines)
+
+
+class TestTable3:
+    def test_select_row_present(self):
+        per_app = {
+            "applu": [_dse(0.01, {"NN-E": 2.0, "LR-B": 4.0})],
+            "mcf": [_dse(0.01, {"NN-E": 5.0, "LR-B": 9.0})],
+        }
+        out = table3(per_app, ["LR-B", "NN-E"])
+        assert "Select" in out
+        assert "3.50" in out  # NN-E average (2+5)/2
+
+    def test_rejects_ragged_results(self):
+        per_app = {
+            "applu": [_dse(0.01, {"NN-E": 2.0})],
+            "mcf": [_dse(0.01, {"NN-E": 5.0}), _dse(0.02, {"NN-E": 4.0})],
+        }
+        with pytest.raises(ValueError):
+            table3(per_app, ["NN-E"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            table3({}, ["NN-E"])

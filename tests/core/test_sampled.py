@@ -1,0 +1,87 @@
+"""Tests for the sampled design-space exploration workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import model_builders
+from repro.core.sampled import run_rate_sweep, run_sampled_dse, sampling_counts
+
+
+@pytest.fixture(scope="module")
+def fast_builders():
+    # LR-B and NN-S keep workflow tests quick; NN-E is covered elsewhere.
+    return model_builders(("LR-B", "NN-S"), seed=3)
+
+
+class TestSamplingCounts:
+    def test_paper_one_percent(self):
+        assert sampling_counts(4608, 0.01) == 46
+
+    def test_minimum_floor(self):
+        assert sampling_counts(100, 0.001) == 4
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            sampling_counts(100, 0.0)
+        with pytest.raises(ValueError):
+            sampling_counts(100, 1.0)
+
+
+class TestRunSampledDse:
+    def test_result_structure(self, space_dataset, rng, fast_builders):
+        res = run_sampled_dse(space_dataset("applu"), fast_builders, 0.01, rng)
+        assert res.rate == 0.01
+        assert res.n_sampled == 46
+        assert set(res.outcomes) == {"LR-B", "NN-S"}
+        assert res.select_label in res.outcomes
+        assert res.select_true_error == res.outcomes[res.select_label].true_error
+
+    def test_true_errors_reasonable(self, space_dataset, rng, fast_builders):
+        res = run_sampled_dse(space_dataset("applu"), fast_builders, 0.02, rng)
+        for outcome in res.outcomes.values():
+            assert 0.0 < outcome.true_error < 15.0
+
+    def test_estimates_carry_five_reps(self, space_dataset, rng, fast_builders):
+        res = run_sampled_dse(space_dataset("applu"), fast_builders, 0.01, rng)
+        for outcome in res.outcomes.values():
+            assert len(outcome.estimate.per_rep) == 5
+            assert outcome.estimated_error_max >= outcome.estimated_error_mean
+
+    def test_select_minimizes_estimate(self, space_dataset, rng, fast_builders):
+        res = run_sampled_dse(space_dataset("mcf"), fast_builders, 0.02, rng)
+        best = min(res.outcomes.values(), key=lambda o: o.estimated_error_max)
+        assert res.select_label == best.label
+
+    def test_mean_statistic_option(self, space_dataset, rng, fast_builders):
+        res = run_sampled_dse(space_dataset("applu"), fast_builders, 0.01, rng,
+                              select_statistic="mean")
+        best = min(res.outcomes.values(), key=lambda o: o.estimated_error_mean)
+        assert res.select_label == best.label
+
+    def test_rejects_empty_builders(self, space_dataset, rng):
+        with pytest.raises(ValueError):
+            run_sampled_dse(space_dataset("applu"), {}, 0.01, rng)
+
+    def test_accessor_dicts(self, space_dataset, rng, fast_builders):
+        res = run_sampled_dse(space_dataset("applu"), fast_builders, 0.01, rng)
+        assert set(res.true_errors()) == {"LR-B", "NN-S"}
+        assert set(res.estimated_errors()) == {"LR-B", "NN-S"}
+
+
+class TestRateSweep:
+    def test_errors_trend_down_for_nn(self, space_dataset, fast_builders):
+        # "as the training sample size increases ... better prediction
+        # accuracy" — allow the paper's caveat of occasional upticks by
+        # comparing the endpoints.
+        rng = np.random.default_rng(0)
+        results = run_rate_sweep(space_dataset("mcf"), fast_builders,
+                                 [0.01, 0.05], rng)
+        assert results[-1].outcomes["NN-S"].true_error < (
+            results[0].outcomes["NN-S"].true_error * 1.1
+        )
+
+    def test_one_result_per_rate(self, space_dataset, fast_builders):
+        rng = np.random.default_rng(0)
+        results = run_rate_sweep(space_dataset("applu"), fast_builders,
+                                 [0.01, 0.02, 0.03], rng)
+        assert [r.rate for r in results] == [0.01, 0.02, 0.03]

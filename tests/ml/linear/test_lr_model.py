@@ -1,0 +1,91 @@
+"""Tests for the LinearRegressionModel predictive interface."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import Column, ColumnRole, Dataset
+from repro.ml.linear.model import LR_METHODS, LinearRegressionModel
+
+
+def _linear_ds(n=100, seed=0, noise=0.2):
+    rng = np.random.default_rng(seed)
+    speed = rng.uniform(1000, 3000, n)
+    cache = rng.uniform(256, 2048, n)
+    junk = rng.uniform(0, 100, n)
+    smt = rng.random(n) > 0.5
+    bp = rng.choice(["bimodal", "perfect"], n)  # symbolic -> omitted for LR
+    y = 5.0 + 0.01 * speed + 0.002 * cache + rng.normal(0, noise, n)
+    return Dataset(
+        [
+            Column("speed", ColumnRole.NUMERIC, speed),
+            Column("cache", ColumnRole.NUMERIC, cache),
+            Column("hd_size", ColumnRole.NUMERIC, junk),
+            Column("smt", ColumnRole.FLAG, smt),
+            Column("bp", ColumnRole.CATEGORICAL, bp),
+        ],
+        y,
+    )
+
+
+class TestConstruction:
+    def test_all_four_methods(self):
+        for method, (label, _) in LR_METHODS.items():
+            m = LinearRegressionModel(method)
+            assert m.name == label
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            LinearRegressionModel("ridge")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressionModel().predict(_linear_ds())
+
+
+class TestFitPredict:
+    @pytest.mark.parametrize("method", list(LR_METHODS))
+    def test_low_error_on_linear_data(self, method):
+        ds = _linear_ds()
+        train, test = ds.take(range(70)), ds.take(range(70, 100))
+        model = LinearRegressionModel(method).fit(train)
+        err = np.abs(model.predict(test) - test.target) / test.target
+        assert err.mean() < 0.03, method
+
+    def test_backward_drops_junk(self):
+        model = LinearRegressionModel("backward").fit(_linear_ds())
+        assert "speed" in model.selected_features
+        assert "hd_size" not in model.selected_features
+
+    def test_enter_keeps_everything_numeric(self):
+        model = LinearRegressionModel("enter").fit(_linear_ds())
+        assert set(model.selected_features) == {"speed", "cache", "hd_size", "smt"}
+
+    def test_r_squared_high_on_linear_data(self):
+        model = LinearRegressionModel("enter").fit(_linear_ds(noise=0.05))
+        assert model.r_squared > 0.99
+
+    def test_intercept_only_fallback(self):
+        rng = np.random.default_rng(1)
+        ds = Dataset(
+            [Column("junk", ColumnRole.NUMERIC, rng.normal(size=40))],
+            np.full(40, 7.0) + rng.normal(0, 0.01, 40),
+        )
+        model = LinearRegressionModel("forward").fit(ds)
+        if not model.selected_features:
+            np.testing.assert_allclose(model.predict(ds), ds.target.mean())
+
+
+class TestStandardizedBetas:
+    def test_dominant_predictor_has_largest_beta(self):
+        model = LinearRegressionModel("enter").fit(_linear_ds())
+        betas = model.standardized_betas
+        assert abs(betas["speed"]) == max(abs(b) for b in betas.values())
+
+    def test_importances_per_column(self):
+        model = LinearRegressionModel("backward").fit(_linear_ds())
+        imp = model.importances()
+        assert imp["speed"] > imp.get("cache", 0.0) > 0.0
+
+    def test_selection_history_available(self):
+        model = LinearRegressionModel("backward").fit(_linear_ds())
+        assert isinstance(model.selection_history, list)

@@ -1,0 +1,123 @@
+"""Tests for the OLS core and partial-F inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.linear.lsq import fit_ols, partial_f_pvalue
+
+
+def _make_linear(n=60, p=3, sigma=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, p))
+    beta = np.arange(1, p + 1, dtype=float)
+    y = 2.0 + X @ beta + rng.normal(0, sigma, n)
+    return X, y, beta
+
+
+class TestFitOls:
+    def test_recovers_coefficients(self):
+        X, y, beta = _make_linear()
+        fit = fit_ols(X, y)
+        np.testing.assert_allclose(fit.coef, beta, atol=0.1)
+        assert fit.intercept == pytest.approx(2.0, abs=0.1)
+
+    def test_perfect_fit_r2_one(self):
+        X, y, _ = _make_linear(sigma=0.0)
+        fit = fit_ols(X, y)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+        assert fit.sse == pytest.approx(0.0, abs=1e-15)
+
+    def test_null_model_zero_predictors(self):
+        y = np.array([1.0, 2.0, 3.0])
+        fit = fit_ols(np.empty((3, 0)), y)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(0.0)
+
+    def test_significant_predictor_small_pvalue(self):
+        X, y, _ = _make_linear(n=100, p=2, sigma=0.05)
+        fit = fit_ols(X, y)
+        assert (fit.p_values < 1e-6).all()
+
+    def test_noise_predictor_large_pvalue(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(80, 2))
+        y = 5.0 + 3.0 * X[:, 0] + rng.normal(0, 0.5, 80)  # x1 is junk
+        fit = fit_ols(X, y)
+        assert fit.p_values[0] < 1e-6
+        assert fit.p_values[1] > 0.05
+
+    def test_collinear_columns_handled(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=50)
+        X = np.column_stack([x, 2.0 * x])  # rank deficient
+        y = 1.0 + x + rng.normal(0, 0.1, 50)
+        fit = fit_ols(X, y)  # must not raise
+        pred = fit.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.1
+
+    def test_predict_shape_check(self):
+        X, y, _ = _make_linear(p=3)
+        fit = fit_ols(X, y)
+        with pytest.raises(ValueError):
+            fit.predict(np.zeros((5, 2)))
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            fit_ols(np.zeros((3, 1)), np.zeros(4))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_ols(np.zeros((0, 1)), np.zeros(0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 40), st.integers(1, 4))
+    def test_residuals_orthogonal_to_fit(self, n, p):
+        rng = np.random.default_rng(n * 10 + p)
+        X = rng.normal(size=(n, p))
+        y = rng.normal(size=n)
+        fit = fit_ols(X, y)
+        resid = y - fit.predict(X)
+        # Normal equations: residuals orthogonal to each predictor column.
+        assert np.abs(X.T @ resid).max() < 1e-6 * max(1.0, np.abs(y).max()) * n
+
+    def test_r2_between_0_and_1(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        fit = fit_ols(X, y)
+        assert 0.0 <= fit.r_squared <= 1.0
+
+
+class TestPartialF:
+    def test_useful_addition_significant(self):
+        X, y, _ = _make_linear(n=80, p=2, sigma=0.1)
+        reduced = fit_ols(X[:, :1], y)
+        full = fit_ols(X, y)
+        assert partial_f_pvalue(reduced, full) < 1e-6
+
+    def test_useless_addition_not_significant(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=100)
+        junk = rng.normal(size=100)
+        y = 1.0 + 2.0 * x + rng.normal(0, 0.3, 100)
+        reduced = fit_ols(x[:, None], y)
+        full = fit_ols(np.column_stack([x, junk]), y)
+        assert partial_f_pvalue(reduced, full) > 0.01
+
+    def test_no_improvement_returns_one(self):
+        X, y, _ = _make_linear()
+        fit = fit_ols(X, y)
+        assert partial_f_pvalue(fit, fit) == 1.0
+
+    def test_perfect_full_fit(self):
+        X, y, _ = _make_linear(sigma=0.0)
+        reduced = fit_ols(X[:, :1], y)
+        full = fit_ols(X, y)
+        assert partial_f_pvalue(reduced, full) == 0.0
+
+    def test_rejects_bad_df(self):
+        X, y, _ = _make_linear()
+        fit = fit_ols(X, y)
+        with pytest.raises(ValueError):
+            partial_f_pvalue(fit, fit, df_added=0)

@@ -1,0 +1,63 @@
+"""Tests for activation functions and their output-space derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.nn.activations import LINEAR, SIGMOID, TANH, get_activation
+
+finite_arrays = st.lists(
+    st.floats(-50, 50, allow_nan=False), min_size=1, max_size=20
+).map(np.asarray)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert SIGMOID.fn(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_saturation_is_finite(self):
+        out = SIGMOID.fn(np.array([-1e9, 1e9]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    @given(finite_arrays)
+    def test_derivative_matches_numeric(self, z):
+        eps = 1e-6
+        num = (SIGMOID.fn(z + eps) - SIGMOID.fn(z - eps)) / (2 * eps)
+        ana = SIGMOID.deriv_from_output(SIGMOID.fn(z))
+        np.testing.assert_allclose(ana, num, atol=1e-5)
+
+
+class TestTanh:
+    @given(finite_arrays)
+    def test_derivative_matches_numeric(self, z):
+        eps = 1e-6
+        num = (TANH.fn(z + eps) - TANH.fn(z - eps)) / (2 * eps)
+        ana = TANH.deriv_from_output(TANH.fn(z))
+        np.testing.assert_allclose(ana, num, atol=1e-5)
+
+    def test_odd_function(self):
+        z = np.array([0.3, 1.7])
+        np.testing.assert_allclose(TANH.fn(-z), -TANH.fn(z))
+
+
+class TestLinear:
+    def test_identity(self):
+        z = np.array([-2.0, 3.0])
+        np.testing.assert_array_equal(LINEAR.fn(z), z)
+
+    def test_unit_derivative(self):
+        np.testing.assert_array_equal(
+            LINEAR.deriv_from_output(np.array([5.0, -1.0])), [1.0, 1.0]
+        )
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sigmoid", "tanh", "linear"])
+    def test_lookup(self, name):
+        assert get_activation(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown activation"):
+            get_activation("relu6")

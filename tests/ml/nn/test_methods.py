@@ -1,0 +1,90 @@
+"""Tests for the six NN training methods (builders)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.nn.methods import NN_METHODS
+
+
+def _problem(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 4))
+    y = 0.2 + 0.3 * X[:, 0] + 0.25 * X[:, 1] * X[:, 2]
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return _problem()
+
+
+class TestAllMethods:
+    @pytest.mark.parametrize("method", list(NN_METHODS))
+    def test_builds_working_network(self, method, problem):
+        X, y = problem
+        label, builder = NN_METHODS[method]
+        build = builder(X, y, np.random.default_rng(1))
+        pred = build.net.predict(X)
+        mse = float(np.mean((pred - y) ** 2))
+        assert mse < 0.01, (label, mse)
+
+    @pytest.mark.parametrize("method", list(NN_METHODS))
+    def test_deterministic_given_rng(self, method, problem):
+        X, y = problem
+        _, builder = NN_METHODS[method]
+        a = builder(X, y, np.random.default_rng(7)).net.predict(X)
+        b = builder(X, y, np.random.default_rng(7)).net.predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("method", list(NN_METHODS))
+    def test_notes_populated(self, method, problem):
+        X, y = problem
+        _, builder = NN_METHODS[method]
+        build = builder(X, y, np.random.default_rng(2))
+        assert build.notes
+
+
+class TestMethodPolicies:
+    def test_single_uses_one_small_hidden_layer(self, problem):
+        X, y = problem
+        build = NN_METHODS["single"][1](X, y, np.random.default_rng(3))
+        assert len(build.net.hidden_sizes) == 1
+        assert build.net.hidden_sizes[0] <= 16
+
+    def test_quick_uses_heuristic_size(self, problem):
+        X, y = problem
+        build = NN_METHODS["quick"][1](X, y, np.random.default_rng(3))
+        assert len(build.net.hidden_sizes) == 1
+
+    def test_dynamic_grows_beyond_start(self, problem):
+        X, y = problem
+        build = NN_METHODS["dynamic"][1](X, y, np.random.default_rng(3))
+        assert build.net.hidden_sizes[0] >= 2
+        assert any("grew" in n or "stop growth" in n for n in build.notes)
+
+    def test_multiple_tried_several_topologies(self, problem):
+        X, y = problem
+        build = NN_METHODS["multiple"][1](X, y, np.random.default_rng(3))
+        assert sum("topology" in n for n in build.notes) >= 3
+
+    def test_prune_starts_two_hidden_layers(self, problem):
+        X, y = problem
+        build = NN_METHODS["prune"][1](X, y, np.random.default_rng(3))
+        assert 1 <= len(build.net.hidden_sizes) <= 2
+
+    def test_exhaustive_runs_restarts(self, problem):
+        X, y = problem
+        build = NN_METHODS["exhaustive"][1](X, y, np.random.default_rng(3))
+        assert sum(n.startswith("restart") for n in build.notes) == 3
+
+    def test_exhaustive_not_worse_than_single(self, problem):
+        # "often yields the best results" — assert vs the fast baseline.
+        X, y = problem
+        rng = np.random.default_rng(11)
+        Xt = rng.random((400, 4))
+        yt = 0.2 + 0.3 * Xt[:, 0] + 0.25 * Xt[:, 1] * Xt[:, 2]
+        exh = NN_METHODS["exhaustive"][1](X, y, np.random.default_rng(4))
+        sgl = NN_METHODS["single"][1](X, y, np.random.default_rng(4))
+        mse_e = float(np.mean((exh.net.predict(Xt) - yt) ** 2))
+        mse_s = float(np.mean((sgl.net.predict(Xt) - yt) ** 2))
+        assert mse_e <= mse_s * 1.2

@@ -1,0 +1,32 @@
+"""Tests for error summaries (the Figure 7/8 mean ± std statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import ErrorSummary, accuracy, summarize_errors
+
+
+class TestAccuracy:
+    def test_perfect_is_100(self):
+        y = np.array([2.0, 4.0])
+        assert accuracy(y, y) == pytest.approx(100.0)
+
+    def test_ten_percent_error(self):
+        y = np.array([100.0])
+        assert accuracy(np.array([110.0]), y) == pytest.approx(90.0)
+
+
+class TestSummarizeErrors:
+    def test_fields(self):
+        y = np.array([100.0, 100.0])
+        s = summarize_errors(np.array([105.0, 115.0]), y)
+        assert isinstance(s, ErrorSummary)
+        assert s.mean == pytest.approx(10.0)
+        assert s.std == pytest.approx(5.0)
+        assert s.max == pytest.approx(15.0)
+        assert s.n == 2
+
+    def test_zero_spread(self):
+        y = np.array([50.0, 50.0])
+        s = summarize_errors(y * 1.02, y)
+        assert s.std == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,123 @@
+"""Property-based tests over the modeling layer (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.dataset import Column, ColumnRole, Dataset
+from repro.ml.linear import LinearRegressionModel, fit_ols
+from repro.ml.nn.model import TargetScaler
+from repro.ml.preprocess import Encoder, MinMaxScaler
+
+
+def _numeric_ds(X: np.ndarray, y: np.ndarray) -> Dataset:
+    cols = [Column(f"x{j}", ColumnRole.NUMERIC, X[:, j]) for j in range(X.shape[1])]
+    return Dataset(cols, y)
+
+
+matrices = st.integers(10, 40).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.integers(1, 3),
+        st.integers(0, 10_000),
+    )
+)
+
+
+class TestOlsProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(matrices)
+    def test_prediction_equivariant_under_target_scaling(self, spec):
+        n, p, seed = spec
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, p))
+        y = rng.normal(size=n)
+        base = fit_ols(X, y).predict(X)
+        scaled = fit_ols(X, 3.5 * y + 7.0).predict(X)
+        np.testing.assert_allclose(scaled, 3.5 * base + 7.0, atol=1e-6)
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrices)
+    def test_sse_no_worse_than_mean_model(self, spec):
+        n, p, seed = spec
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, p))
+        y = rng.normal(size=n)
+        fit = fit_ols(X, y)
+        assert fit.sse <= fit.sst + 1e-9
+
+
+class TestLrModelProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_selected_features_subset_of_enter(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 4))
+        y = 2 * X[:, 0] + rng.normal(0, 0.5, 60)
+        ds = _numeric_ds(X, y)
+        enter = set(LinearRegressionModel("enter").fit(ds).selected_features)
+        for method in ("forward", "backward", "stepwise"):
+            sel = set(LinearRegressionModel(method).fit(ds).selected_features)
+            assert sel <= enter, method
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_prediction_deterministic(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        y = X[:, 0] + rng.normal(0, 0.1, 30)
+        ds = _numeric_ds(X, y)
+        a = LinearRegressionModel("backward").fit(ds).predict(ds)
+        b = LinearRegressionModel("backward").fit(ds).predict(ds)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScalerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=2, max_size=30, unique=True),
+           st.lists(st.floats(-2e5, 2e5), min_size=1, max_size=10))
+    def test_minmax_round_trip_is_affine(self, train, test):
+        sc = MinMaxScaler().fit(np.asarray(train)[:, None])
+        out = sc.transform(np.asarray(test)[:, None])[:, 0]
+        # Affine: monotone (ties allowed where float precision collapses).
+        order = np.argsort(np.asarray(test))
+        assert np.all(np.diff(out[order]) >= -1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.1, 1e6), min_size=2, max_size=30, unique=True))
+    def test_target_scaler_inverse_identity(self, values):
+        y = np.asarray(values)
+        sc = TargetScaler().fit(y)
+        np.testing.assert_allclose(sc.inverse(sc.transform(y)), y, rtol=1e-9)
+
+
+class TestEncoderProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 30), st.integers(0, 500))
+    def test_transform_idempotent_given_fit(self, n, seed):
+        rng = np.random.default_rng(seed)
+        ds = Dataset(
+            [
+                Column("a", ColumnRole.NUMERIC, rng.normal(size=n)),
+                Column("b", ColumnRole.FLAG, rng.random(n) > 0.5),
+            ],
+            rng.random(n) + 1.0,
+        )
+        enc = Encoder("nn").fit(ds)
+        np.testing.assert_array_equal(enc.transform(ds), enc.transform(ds))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 30), st.integers(0, 500))
+    def test_feature_count_matches_names(self, n, seed):
+        rng = np.random.default_rng(seed)
+        ds = Dataset(
+            [
+                Column("a", ColumnRole.NUMERIC, rng.normal(size=n)),
+                Column("c", ColumnRole.CATEGORICAL,
+                       rng.choice(["x", "y", "z"], n)),
+            ],
+            rng.random(n) + 1.0,
+        )
+        enc = Encoder("nn").fit(ds)
+        X = enc.transform(ds)
+        assert X.shape[1] == len(enc.feature_names)

@@ -1,0 +1,98 @@
+"""Tests for repeated-holdout error estimation and the select meta-method."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import PredictiveModel
+from repro.ml.dataset import Column, ColumnRole, Dataset
+from repro.ml.selection import ErrorEstimate, estimate_error, select_model
+
+
+class _ConstantModel(PredictiveModel):
+    """Predicts a fixed multiple of the true mean (controllable error)."""
+
+    def __init__(self, factor: float, name: str = "const"):
+        self.factor = factor
+        self.name = name
+        self._mean = None
+
+    def fit(self, train):
+        self._mean = float(train.target.mean())
+        return self
+
+    def predict(self, data):
+        return np.full(data.n_records, self._mean * self.factor)
+
+
+def _ds(n=60):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        [Column("x", ColumnRole.NUMERIC, rng.random(n))],
+        np.full(n, 100.0) + rng.normal(0, 1.0, n),
+    )
+
+
+class TestErrorEstimate:
+    def test_mean_and_max(self):
+        est = ErrorEstimate("m", (1.0, 3.0, 2.0))
+        assert est.mean == pytest.approx(2.0)
+        assert est.max == pytest.approx(3.0)
+
+    def test_value_dispatch(self):
+        est = ErrorEstimate("m", (1.0, 3.0))
+        assert est.value("max") == 3.0
+        assert est.value("mean") == 2.0
+        with pytest.raises(ValueError):
+            est.value("median")
+
+
+class TestEstimateError:
+    def test_rep_count(self, rng):
+        est = estimate_error(lambda: _ConstantModel(1.0), _ds(), rng, n_reps=5)
+        assert len(est.per_rep) == 5
+
+    def test_biased_model_sees_its_bias(self, rng):
+        est = estimate_error(lambda: _ConstantModel(1.10), _ds(), rng, n_reps=5)
+        assert est.mean == pytest.approx(10.0, abs=1.5)
+
+    def test_good_model_low_error(self, rng):
+        est = estimate_error(lambda: _ConstantModel(1.0), _ds(), rng, n_reps=5)
+        assert est.mean < 2.0
+
+    def test_max_at_least_mean(self, rng):
+        est = estimate_error(lambda: _ConstantModel(1.05), _ds(), rng, n_reps=5)
+        assert est.max >= est.mean
+
+    def test_rejects_zero_reps(self, rng):
+        with pytest.raises(ValueError):
+            estimate_error(lambda: _ConstantModel(1.0), _ds(), rng, n_reps=0)
+
+    def test_model_name_captured(self, rng):
+        est = estimate_error(lambda: _ConstantModel(1.0, "MY"), _ds(), rng)
+        assert est.model_name == "MY"
+
+
+class TestSelectModel:
+    def test_picks_lower_error_candidate(self, rng):
+        best, ests = select_model(
+            {
+                "bad": lambda: _ConstantModel(1.3),
+                "good": lambda: _ConstantModel(1.01),
+            },
+            _ds(), rng,
+        )
+        assert best == "good"
+        assert set(ests) == {"bad", "good"}
+
+    def test_statistic_choice_respected(self, rng):
+        # Both statistics must at least run without error and agree here.
+        for stat in ("max", "mean"):
+            best, _ = select_model(
+                {"a": lambda: _ConstantModel(1.2), "b": lambda: _ConstantModel(1.0)},
+                _ds(), rng, statistic=stat,
+            )
+            assert best == "b"
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            select_model({}, _ds(), rng)

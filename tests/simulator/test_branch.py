@@ -1,0 +1,129 @@
+"""Tests for the table-based branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.branch import (
+    BimodalPredictor,
+    CombiningPredictor,
+    PerfectPredictor,
+    TwoLevelPredictor,
+    make_predictor,
+    simulate_predictor,
+)
+
+
+def _stream(pattern, reps, pc=0x1000):
+    taken = np.array(pattern * reps, dtype=bool)
+    pcs = np.full(taken.shape[0], pc, dtype=np.uint64)
+    return pcs, taken
+
+
+class TestPerfect:
+    def test_never_mispredicts(self, rng):
+        pcs = rng.integers(0, 1 << 20, 200).astype(np.uint64)
+        taken = rng.random(200) < 0.5
+        miss = simulate_predictor(PerfectPredictor(), pcs, taken)
+        assert not miss.any()
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        pcs, taken = _stream([True], 100)
+        miss = simulate_predictor(BimodalPredictor(), pcs, taken)
+        assert miss[10:].sum() == 0
+
+    def test_learns_always_not_taken(self):
+        pcs, taken = _stream([False], 100)
+        miss = simulate_predictor(BimodalPredictor(), pcs, taken)
+        assert miss[10:].sum() == 0
+
+    def test_biased_branch_error_near_minority_rate(self, rng):
+        taken = rng.random(4000) < 0.92
+        pcs = np.full(4000, 0x40, dtype=np.uint64)
+        miss = simulate_predictor(BimodalPredictor(), pcs, taken)
+        assert 0.04 < miss.mean() < 0.16
+
+    def test_cannot_learn_alternating(self):
+        pcs, taken = _stream([True, False], 200)
+        miss = simulate_predictor(BimodalPredictor(), pcs, taken)
+        assert miss.mean() > 0.3  # 2-bit counters thrash on T/N/T/N
+
+    def test_distinct_pcs_independent(self):
+        a = np.full(50, 0x1000, dtype=np.uint64)
+        b = np.full(50, 0x2000, dtype=np.uint64)
+        pcs = np.concatenate([a, b])
+        taken = np.concatenate([np.ones(50, bool), np.zeros(50, bool)])
+        miss = simulate_predictor(BimodalPredictor(), pcs, taken)
+        assert miss[60:].sum() == 0  # second branch trains independently
+
+    def test_table_size_validation(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_size=1000)
+
+
+class TestTwoLevel:
+    @pytest.mark.parametrize("period", [2, 3, 4, 6])
+    def test_learns_loop_patterns(self, period):
+        # Pattern: taken (period-1) times, then not taken — a loop back-edge.
+        pattern = [True] * (period - 1) + [False]
+        pcs, taken = _stream(pattern, 120)
+        miss = simulate_predictor(TwoLevelPredictor(), pcs, taken)
+        warm = miss[len(pattern) * 30:]
+        assert warm.mean() < 0.05, period
+
+    def test_beats_bimodal_on_patterns(self):
+        pcs, taken = _stream([True, True, False], 200)
+        m2 = simulate_predictor(TwoLevelPredictor(), pcs, taken).mean()
+        mb = simulate_predictor(BimodalPredictor(), pcs, taken).mean()
+        assert m2 < mb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(history_bits=0)
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(l1_size=100)
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(table_size=100)
+
+
+class TestCombining:
+    def test_tracks_best_component_on_patterns(self):
+        pcs, taken = _stream([True, True, False, False], 150)
+        mc = simulate_predictor(CombiningPredictor(), pcs, taken).mean()
+        m2 = simulate_predictor(TwoLevelPredictor(), pcs, taken).mean()
+        assert mc <= m2 + 0.05
+
+    def test_tracks_bimodal_on_biased(self, rng):
+        taken = rng.random(3000) < 0.95
+        pcs = np.full(3000, 0x80, dtype=np.uint64)
+        mc = simulate_predictor(CombiningPredictor(), pcs, taken).mean()
+        mb = simulate_predictor(BimodalPredictor(), pcs, taken).mean()
+        assert mc <= mb + 0.03
+
+    def test_chooser_size_validated(self):
+        with pytest.raises(ValueError):
+            CombiningPredictor(chooser_size=100)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("perfect", PerfectPredictor),
+        ("bimodal", BimodalPredictor),
+        ("2level", TwoLevelPredictor),
+        ("combining", CombiningPredictor),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_predictor(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_predictor("perceptron")
+
+    def test_simulate_shape_check(self):
+        with pytest.raises(ValueError):
+            simulate_predictor(
+                BimodalPredictor(),
+                np.zeros(3, dtype=np.uint64),
+                np.zeros(2, dtype=bool),
+            )

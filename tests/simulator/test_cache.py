@@ -1,0 +1,141 @@
+"""Tests for the detailed set-associative LRU cache model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.cache import Cache, MultiLevelCache
+
+
+class TestGeometry:
+    def test_sets_computed(self):
+        c = Cache(16 * 1024, 32, 4)
+        assert c.n_sets == 128
+
+    def test_rejects_untiled(self):
+        with pytest.raises(ValueError):
+            Cache(1000, 32, 4)
+        with pytest.raises(ValueError):
+            Cache(16 * 1024, 32, 3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Cache(0, 32, 4)
+
+
+class TestLruBehaviour:
+    def test_cold_miss_then_hit(self):
+        c = Cache(1024, 32, 4)
+        assert not c.access(0)
+        assert c.access(0)
+
+    def test_same_line_offsets_hit(self):
+        c = Cache(1024, 32, 4)
+        c.access(64)
+        assert c.access(64 + 31)  # same 32-byte line
+        assert not c.access(64 + 32)  # next line
+
+    def test_lru_eviction_order(self):
+        # Direct-ish scenario: 4-way set; touch 4 lines, then a 5th evicts
+        # the least-recently used, not the most recent.
+        c = Cache(4 * 32, 32, 4)  # one set, 4 ways
+        for i in range(4):
+            c.access(i * 32)
+        c.access(0)             # make line 0 most-recent
+        c.access(4 * 32)        # evicts line 1 (LRU)
+        assert c.access(0)      # still resident
+        assert not c.access(1 * 32)  # evicted
+
+    def test_conflict_misses_in_set(self):
+        c = Cache(16 * 1024, 32, 4)  # 128 sets
+        stride = c.n_sets * 32  # all map to set 0
+        for k in range(5):
+            c.access(k * stride)
+        assert not c.access(0)  # evicted by the 5th conflicting line
+
+    def test_stats_track(self):
+        c = Cache(1024, 32, 4)
+        c.access(0)
+        c.access(0)
+        assert c.stats.accesses == 2
+        assert c.stats.misses == 1
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        c = Cache(1024, 32, 4)
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.access(0)  # cold again
+
+
+class TestAccessStream:
+    def test_matches_scalar_access(self):
+        addrs = np.random.default_rng(0).integers(0, 1 << 20, 500).astype(np.uint64)
+        a = Cache(8 * 1024, 32, 4)
+        b = Cache(8 * 1024, 32, 4)
+        stream_hits = a.access_stream(addrs)
+        scalar_hits = np.array([b.access(int(x)) for x in addrs])
+        np.testing.assert_array_equal(stream_hits, scalar_hits)
+
+    def test_stats_accumulate(self):
+        c = Cache(8 * 1024, 32, 4)
+        addrs = np.arange(0, 512 * 32, 32, dtype=np.uint64)
+        c.access_stream(addrs)
+        assert c.stats.accesses == 512
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**16))
+    def test_repeat_stream_all_hits_when_fits(self, base):
+        # A working set smaller than capacity must fully hit on re-traversal.
+        c = Cache(4 * 1024, 32, 4)
+        addrs = (base + np.arange(0, 64 * 32, 32)).astype(np.uint64)  # 2 KB
+        c.access_stream(addrs)
+        hits = c.access_stream(addrs)
+        assert hits.all()
+
+    def test_bigger_cache_never_more_misses_fully_assoc(self):
+        # LRU inclusion property (guaranteed for fully-associative LRU).
+        rng = np.random.default_rng(1)
+        addrs = (rng.zipf(1.5, 3000) * 32 % (1 << 22)).astype(np.uint64)
+        small = Cache(64 * 32, 32, 64)   # fully associative
+        big = Cache(256 * 32, 32, 256)   # fully associative
+        m_small = int((~small.access_stream(addrs)).sum())
+        m_big = int((~big.access_stream(addrs)).sum())
+        assert m_big <= m_small
+
+
+class TestMultiLevel:
+    def test_l1_hit_zero_latency(self):
+        h = MultiLevelCache(Cache(1024, 32, 4), Cache(4096, 64, 4), None,
+                            10.0, 36.0, 250.0)
+        addrs = np.array([0, 0], dtype=np.uint64)
+        lat = h.access_stream(addrs)
+        assert lat[1] == 0.0
+
+    def test_miss_chain_latencies(self):
+        h = MultiLevelCache(Cache(1024, 32, 4), Cache(4096, 64, 4), None,
+                            10.0, 36.0, 250.0)
+        lat = h.access_stream(np.array([0], dtype=np.uint64))
+        assert lat[0] == 250.0  # cold: misses L1 and L2, no L3
+        lat2 = h.access_stream(np.array([0], dtype=np.uint64))
+        assert lat2[0] == 0.0   # now resident in L1
+
+    def test_l2_hit_after_l1_eviction(self):
+        l1 = Cache(4 * 32, 32, 4)  # tiny: 4 lines
+        h = MultiLevelCache(l1, Cache(64 * 64, 64, 4), None, 10.0, 36.0, 250.0)
+        addrs = np.arange(0, 8 * 32, 32, dtype=np.uint64)
+        h.access_stream(addrs)          # fills L2, overflows L1
+        lat = h.access_stream(addrs[:1])
+        assert lat[0] == 10.0           # L1 miss, L2 hit
+
+    def test_l3_tier(self):
+        h = MultiLevelCache(Cache(1024, 32, 4), Cache(2048, 64, 4),
+                            Cache(1 << 16, 256, 8), 10.0, 36.0, 250.0)
+        lat = h.access_stream(np.array([0], dtype=np.uint64))
+        assert lat[0] == 250.0
+        # Evict from L1+L2 but not L3, then re-access.
+        filler = np.arange(64, 64 + 4096 * 64, 64, dtype=np.uint64)
+        h.access_stream(filler)
+        lat2 = h.access_stream(np.array([0], dtype=np.uint64))
+        assert lat2[0] in (36.0, 250.0)  # L3 hit unless L3 also evicted

@@ -1,0 +1,142 @@
+"""Tests for the detailed out-of-order pipeline timing model."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.config import enumerate_design_space
+from repro.simulator.isa import OpClass, Trace
+from repro.simulator.pipeline import simulate_pipeline
+
+
+@pytest.fixture(scope="module")
+def configs():
+    return list(enumerate_design_space())
+
+
+def _mk_trace(ops, dep=None):
+    n = len(ops)
+    return Trace(
+        op=np.array(ops, dtype=np.uint8),
+        pc=np.arange(n, dtype=np.uint64) * 4,
+        addr=np.zeros(n, dtype=np.uint64),
+        taken=np.zeros(n, dtype=bool),
+        dep_dist=np.array(dep if dep is not None else [0] * n, dtype=np.uint16),
+        interval_id=np.zeros(n, dtype=np.uint32),
+        block_id=np.zeros(n, dtype=np.uint32),
+    )
+
+
+def _zeros(n):
+    return np.zeros(n), np.zeros(n), np.zeros(n, dtype=bool)
+
+
+def _find(configs, **want):
+    for c in configs:
+        if all(getattr(c, k) == v for k, v in want.items()):
+            return c
+    raise AssertionError(f"no config with {want}")
+
+
+class TestThroughputLimits:
+    def test_ideal_ipc_bounded_by_width(self, configs):
+        n = 4000
+        trace = _mk_trace([int(OpClass.IALU)] * n)
+        mem, ifetch, mis = _zeros(n)
+        cfg = _find(configs, width=4, branch_predictor="perfect")
+        res = simulate_pipeline(trace, cfg, mem, ifetch, mis)
+        assert 1.0 / res.cpi <= 4.0 + 1e-9
+        assert 1.0 / res.cpi > 3.0  # near-ideal with no hazards
+
+    def test_wider_machine_faster(self, configs):
+        n = 4000
+        trace = _mk_trace([int(OpClass.IALU)] * n)
+        mem, ifetch, mis = _zeros(n)
+        r4 = simulate_pipeline(trace, _find(configs, width=4, branch_predictor="perfect"),
+                               mem, ifetch, mis)
+        r8 = simulate_pipeline(trace, _find(configs, width=8, branch_predictor="perfect"),
+                               mem, ifetch, mis)
+        assert r8.cycles < r4.cycles
+
+    def test_fu_contention_limits_imult(self, configs):
+        # All-imult stream on 2 multipliers: throughput <= 2/cycle.
+        n = 2000
+        trace = _mk_trace([int(OpClass.IMULT)] * n)
+        mem, ifetch, mis = _zeros(n)
+        cfg = _find(configs, width=4, branch_predictor="perfect")
+        res = simulate_pipeline(trace, cfg, mem, ifetch, mis)
+        assert 1.0 / res.cpi <= cfg.fu_imult + 0.01
+
+
+class TestHazards:
+    def test_serial_dependency_chain_is_one_ipc(self, configs):
+        # Every op depends on its predecessor: IPC can't exceed 1/latency.
+        n = 2000
+        trace = _mk_trace([int(OpClass.IALU)] * n, dep=[1] * n)
+        mem, ifetch, mis = _zeros(n)
+        cfg = _find(configs, width=8, branch_predictor="perfect")
+        res = simulate_pipeline(trace, cfg, mem, ifetch, mis)
+        assert res.cpi >= 0.98
+
+    def test_memory_latency_stalls_dependents(self, configs):
+        n = 2000
+        ops = [int(OpClass.LOAD), int(OpClass.IALU)] * (n // 2)
+        dep = [1, 1] * (n // 2)  # fully serial: load <- alu <- load <- ...
+        trace = _mk_trace(ops, dep)
+        cfg = _find(configs, width=4, branch_predictor="perfect")
+        mem_fast, ifetch, mis = _zeros(n)
+        slow = np.zeros(n)
+        slow[::2] = 50.0  # every load misses with 50-cycle latency
+        fast = simulate_pipeline(trace, cfg, mem_fast, ifetch, mis)
+        stall = simulate_pipeline(trace, cfg, slow, ifetch, mis)
+        assert stall.cycles > fast.cycles * 3
+
+    def test_independent_misses_overlap(self, configs):
+        # Without dependencies the window hides most of the miss latency.
+        n = 2000
+        ops = [int(OpClass.LOAD)] * n
+        trace = _mk_trace(ops)
+        cfg = _find(configs, width=4, branch_predictor="perfect")
+        lat = np.full(n, 50.0)
+        ifetch, mis = np.zeros(n), np.zeros(n, dtype=bool)
+        res = simulate_pipeline(trace, cfg, lat, ifetch, mis)
+        # Serialized cost would be ~50 CPI; overlap must do far better.
+        assert res.cpi < 30.0
+
+    def test_mispredicts_add_cycles(self, configs):
+        n = 3000
+        ops = ([int(OpClass.IALU)] * 4 + [int(OpClass.BRANCH)]) * (n // 5)
+        trace = _mk_trace(ops)
+        cfg = _find(configs, width=4, branch_predictor="bimodal")
+        mem, ifetch, _ = _zeros(n)
+        none = np.zeros(n, dtype=bool)
+        some = np.zeros(n, dtype=bool)
+        some[4::10] = True  # half the branches mispredict
+        clean = simulate_pipeline(trace, cfg, mem, ifetch, none)
+        dirty = simulate_pipeline(trace, cfg, mem, ifetch, some)
+        assert dirty.cycles > clean.cycles * 1.3
+
+    def test_ifetch_stalls_add_cycles(self, configs):
+        n = 2000
+        trace = _mk_trace([int(OpClass.IALU)] * n)
+        cfg = _find(configs, width=4, branch_predictor="perfect")
+        mem, _, mis = _zeros(n)
+        stalls = np.zeros(n)
+        stalls[::20] = 12.0
+        clean = simulate_pipeline(trace, cfg, mem, np.zeros(n), mis)
+        dirty = simulate_pipeline(trace, cfg, mem, stalls, mis)
+        assert dirty.cycles > clean.cycles
+
+
+class TestInterface:
+    def test_empty_trace(self, configs):
+        res = simulate_pipeline(
+            _mk_trace([]), configs[0], np.zeros(0), np.zeros(0),
+            np.zeros(0, dtype=bool),
+        )
+        assert res.cycles == 0.0 and res.n_instructions == 0
+
+    def test_shape_validation(self, configs):
+        trace = _mk_trace([0, 0, 0])
+        with pytest.raises(ValueError):
+            simulate_pipeline(trace, configs[0], np.zeros(2), np.zeros(3),
+                              np.zeros(3, dtype=bool))

@@ -1,0 +1,139 @@
+"""Tests for SimPoint: BBVs, k-means, and representative selection."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.config import enumerate_design_space
+from repro.simulator.machine import simulate_detailed
+from repro.simulator.simpoint import (
+    basic_block_vectors,
+    choose_simpoints,
+    estimate_cycles,
+    kmeans,
+    simulate_point,
+)
+from repro.simulator.trace import generate_trace
+from repro.simulator.workloads import get_profile
+
+
+class TestBasicBlockVectors:
+    def test_rows_normalized(self, trace_cache):
+        bbv = basic_block_vectors(trace_cache("gcc"))
+        np.testing.assert_allclose(bbv.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_row_count_matches_intervals(self, trace_cache):
+        tr = trace_cache("gcc")
+        bbv = basic_block_vectors(tr)
+        assert bbv.shape[0] == int(tr.interval_id[-1]) + 1
+
+    def test_override_interval_length(self, trace_cache):
+        tr = trace_cache("gcc")
+        bbv = basic_block_vectors(tr, interval_length=5_000)
+        assert bbv.shape[0] == len(tr) // 5_000
+
+    def test_phases_produce_distinct_bbvs(self):
+        # Different phases execute different static blocks, so BBVs from
+        # different phases must be farther apart than within-phase BBVs.
+        tr = generate_trace(get_profile("gcc"), 120_000, seed=2,
+                            interval_length=5_000)
+        bbv = basic_block_vectors(tr)
+        # Intervals 0 and 1 share a phase; interval 2 starts the next phase
+        # (two intervals per phase for this trace length).
+        d_same_phase = np.linalg.norm(bbv[0] - bbv[1])
+        d_next_phase = np.linalg.norm(bbv[0] - bbv[2])
+        assert d_next_phase > d_same_phase
+
+    def test_rejects_bad_args(self, trace_cache):
+        with pytest.raises(ValueError):
+            basic_block_vectors(trace_cache("gcc"), interval_length=0)
+
+
+class TestKMeans:
+    def test_separable_clusters_found(self, rng):
+        a = rng.normal(0, 0.1, (30, 2))
+        b = rng.normal(5, 0.1, (30, 2)) + [5, 0]
+        X = np.vstack([a, b])
+        res = kmeans(X, 2, rng)
+        labels_a = set(res.labels[:30].tolist())
+        labels_b = set(res.labels[30:].tolist())
+        assert labels_a.isdisjoint(labels_b)
+
+    def test_k_equals_n(self, rng):
+        X = rng.normal(size=(5, 2))
+        res = kmeans(X, 5, rng)
+        assert res.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one_centroid_is_mean(self, rng):
+        X = rng.normal(size=(40, 3))
+        res = kmeans(X, 1, rng)
+        np.testing.assert_allclose(res.centroids[0], X.mean(axis=0), atol=1e-9)
+
+    def test_inertia_decreases_with_k(self, rng):
+        X = rng.normal(size=(60, 2))
+        inertias = [kmeans(X, k, np.random.default_rng(0)).inertia
+                    for k in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_rejects_bad_k(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValueError):
+            kmeans(X, 0, rng)
+        with pytest.raises(ValueError):
+            kmeans(X, 6, rng)
+
+
+class TestChooseSimpoints:
+    def test_weights_sum_to_one(self, trace_cache):
+        pts = choose_simpoints(trace_cache("gcc"))
+        assert sum(p.weight for p in pts) == pytest.approx(1.0)
+
+    def test_intervals_in_range(self, trace_cache):
+        tr = trace_cache("gcc")
+        n_intervals = int(tr.interval_id[-1]) + 1
+        pts = choose_simpoints(tr)
+        assert all(0 <= p.interval < n_intervals for p in pts)
+
+    def test_respects_max_k(self, trace_cache):
+        pts = choose_simpoints(trace_cache("gcc"), max_k=3)
+        assert 1 <= len(pts) <= 3
+
+    def test_deterministic_with_rng(self, trace_cache):
+        tr = trace_cache("gcc")
+        a = choose_simpoints(tr, rng=np.random.default_rng(5))
+        b = choose_simpoints(tr, rng=np.random.default_rng(5))
+        assert a == b
+
+
+class TestEstimateCycles:
+    def test_single_point_trivial(self):
+        per = np.array([100.0, 200.0, 300.0])
+        from repro.simulator.simpoint import SimPoint
+        est = estimate_cycles(per, [SimPoint(1, 1.0)], 3)
+        assert est == pytest.approx(600.0)
+
+    def test_weight_sum_enforced(self):
+        from repro.simulator.simpoint import SimPoint
+        with pytest.raises(ValueError):
+            estimate_cycles(np.array([1.0]), [SimPoint(0, 0.5)], 1)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cycles(np.array([1.0]), [], 1)
+
+    def test_simpoint_estimate_tracks_full_simulation(self, design_space):
+        # The paper's whole premise: simulating only the chosen points
+        # extrapolates to the full program within a few percent.
+        tr = generate_trace(get_profile("mesa"), 100_000, seed=7,
+                            interval_length=5_000)
+        cfg = design_space[100]
+        full = simulate_detailed(tr, cfg)
+        pts = choose_simpoints(tr, max_k=6, rng=np.random.default_rng(1))
+        n_intervals = int(tr.interval_id[-1]) + 1
+        per = np.zeros(n_intervals)
+        for p in pts:
+            per[p.interval] = simulate_point(tr, p, 5_000, cfg)
+        est = estimate_cycles(per, pts, n_intervals)
+        # Scaled-down intervals carry residual cold-start bias (see
+        # simulate_point); at the paper's 100M-instruction intervals this
+        # tolerance would be a few percent.
+        assert est == pytest.approx(full.cycles, rel=0.50)

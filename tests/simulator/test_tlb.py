@@ -1,0 +1,71 @@
+"""Tests for the fully-associative LRU TLB."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.tlb import Tlb
+
+
+class TestGeometry:
+    def test_entries_from_reach(self):
+        assert Tlb(512 * 1024).entries == 128
+        assert Tlb(2048 * 1024).entries == 512
+
+    def test_minimum_one_entry(self):
+        assert Tlb(100).entries == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Tlb(0)
+
+
+class TestLru:
+    def test_cold_then_hot(self):
+        t = Tlb(8 * 4096)
+        assert not t.access(0)
+        assert t.access(4095)  # same page
+        assert not t.access(4096)  # next page
+
+    def test_eviction_is_lru(self):
+        t = Tlb(2 * 4096)  # 2 entries
+        t.access(0 * 4096)
+        t.access(1 * 4096)
+        t.access(0 * 4096)      # page 0 now MRU
+        t.access(2 * 4096)      # evicts page 1
+        assert t.access(0 * 4096)
+        assert not t.access(1 * 4096)
+
+    def test_stats(self):
+        t = Tlb(4 * 4096)
+        t.access(0)
+        t.access(0)
+        assert t.stats.accesses == 2 and t.stats.misses == 1
+
+    def test_reset(self):
+        t = Tlb(4 * 4096)
+        t.access(0)
+        t.reset()
+        assert not t.access(0)
+
+
+class TestStream:
+    def test_matches_scalar(self, rng):
+        addrs = rng.integers(0, 1 << 26, 400).astype(np.uint64)
+        a, b = Tlb(64 * 4096), Tlb(64 * 4096)
+        stream = a.access_stream(addrs)
+        scalar = np.array([b.access(int(x)) for x in addrs])
+        np.testing.assert_array_equal(stream, scalar)
+
+    def test_working_set_within_reach_all_hits(self):
+        t = Tlb(128 * 4096)
+        pages = np.arange(64, dtype=np.uint64) * 4096
+        t.access_stream(pages)
+        assert t.access_stream(pages).all()
+
+    def test_larger_reach_fewer_misses(self, rng):
+        addrs = (rng.zipf(1.4, 5000) * 4096 % (1 << 30)).astype(np.uint64)
+        small = Tlb(128 * 4096)
+        large = Tlb(512 * 4096)
+        m_s = int((~small.access_stream(addrs)).sum())
+        m_l = int((~large.access_stream(addrs)).sum())
+        assert m_l <= m_s

@@ -1,0 +1,92 @@
+"""Tests for the SPEC CPU2000 workload models."""
+
+import pytest
+
+from repro.simulator.workloads import (
+    PRESENTED_APPS,
+    SPEC2000_PROFILES,
+    BranchBehavior,
+    IlpBehavior,
+    MemoryBehavior,
+    ReuseComponent,
+    get_profile,
+)
+
+
+class TestRegistry:
+    def test_twelve_applications(self):
+        # The paper selects 12 SPEC2000 applications (Phansalkar et al.).
+        assert len(SPEC2000_PROFILES) == 12
+
+    def test_presented_five(self):
+        assert PRESENTED_APPS == ("applu", "equake", "gcc", "mesa", "mcf")
+        assert all(app in SPEC2000_PROFILES for app in PRESENTED_APPS)
+
+    def test_lookup_error(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_profile("doom3")
+
+    def test_suites_assigned(self):
+        assert get_profile("mcf").suite == "int"
+        assert get_profile("applu").suite == "fp"
+        ints = sum(p.suite == "int" for p in SPEC2000_PROFILES.values())
+        assert ints == 6  # 6 int + 6 fp in our 12-app subset
+
+
+class TestProfileInvariants:
+    @pytest.mark.parametrize("app", sorted(SPEC2000_PROFILES))
+    def test_mix_sums_below_one(self, app):
+        p = get_profile(app)
+        assert sum(p.mix.values()) <= 1.0 + 1e-9
+        assert p.ialu_fraction >= 0.0
+
+    @pytest.mark.parametrize("app", sorted(SPEC2000_PROFILES))
+    def test_memory_mixtures_valid(self, app):
+        p = get_profile(app)
+        for mem in (p.data, p.inst):
+            assert mem.reuse_weight + mem.compulsory <= 1.0 + 1e-9
+            assert all(c.weight >= 0 for c in mem.components)
+
+    @pytest.mark.parametrize("app", sorted(SPEC2000_PROFILES))
+    def test_branch_fractions_valid(self, app):
+        b = get_profile(app).branches
+        assert b.frac_biased + b.frac_pattern + b.frac_random == pytest.approx(1.0)
+
+    def test_mcf_is_most_memory_bound(self):
+        # mcf's far-reuse weight must dominate the suite (the 6.38x range app).
+        def far_weight(p):
+            return sum(c.weight for c in p.data.components if c.median_blocks > 5e3)
+        mcf = far_weight(get_profile("mcf"))
+        assert all(far_weight(get_profile(a)) <= mcf for a in SPEC2000_PROFILES)
+
+    def test_gcc_has_largest_code_footprint(self):
+        def footprint(p):
+            return max(c.median_blocks for c in p.inst.components)
+        gcc = footprint(get_profile("gcc"))
+        assert all(footprint(get_profile(a)) <= gcc for a in SPEC2000_PROFILES)
+
+
+class TestValidation:
+    def test_reuse_component_bounds(self):
+        with pytest.raises(ValueError):
+            ReuseComponent(1.5, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            ReuseComponent(0.5, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            ReuseComponent(0.5, 10.0, 0.0)
+
+    def test_memory_behavior_weight_cap(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            MemoryBehavior(
+                (ReuseComponent(0.9, 10, 1.0),), compulsory=0.2,
+                spatial_seq=0.5, footprint_exponent=0.5,
+                page_median=5.0, page_sigma=1.0,
+            )
+
+    def test_branch_behavior_bias_range(self):
+        with pytest.raises(ValueError):
+            BranchBehavior(0.5, 0.4, 0.2)  # bias < 0.5
+
+    def test_ilp_behavior_mlp_floor(self):
+        with pytest.raises(ValueError):
+            IlpBehavior(2.0, 40.0, 0.5, 50.0)

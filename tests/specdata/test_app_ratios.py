@@ -1,0 +1,63 @@
+"""Tests for per-application ratio publication and prediction.
+
+The paper: "we have also tested individual SPEC applications and show that
+they can also be accurately estimated" (§4). The generator publishes all
+26 per-app ratios with each announcement; any of them can be a modeling
+target via ``records_to_dataset(..., target="app:<name>")``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegressionModel, summarize_errors
+from repro.specdata import FP_APPS, INT_APPS, records_to_dataset
+from repro.util.stats import geometric_mean
+
+
+class TestPublishedRatios:
+    def test_all_26_apps_published(self, spec_archive):
+        r = spec_archive("xeon")[0]
+        names = {n for n, _ in r.app_ratios}
+        assert names == {a.name for a in INT_APPS + FP_APPS}
+
+    def test_geomean_consistency(self, spec_archive):
+        # The published rate must be exactly the geomean of the published
+        # int-app ratios (the SPEC aggregation rule).
+        r = spec_archive("opteron")[0]
+        ints = [r.app_ratio(a.name) for a in INT_APPS]
+        assert geometric_mean(ints) == pytest.approx(r.specint_rate, rel=1e-9)
+        fps = [r.app_ratio(a.name) for a in FP_APPS]
+        assert geometric_mean(fps) == pytest.approx(r.specfp_rate, rel=1e-9)
+
+    def test_unknown_app_raises(self, spec_archive):
+        with pytest.raises(KeyError):
+            spec_archive("xeon")[0].app_ratio("999.quake3")
+
+    def test_mcf_scales_worse_than_crafty_on_smp(self, spec_archive):
+        # Memory-bound mcf suffers more SMP contention than crafty.
+        r1 = spec_archive("opteron")[0]
+        r8 = spec_archive("opteron-8")[0]
+
+        def scale(app):
+            return r8.app_ratio(app) / r1.app_ratio(app)
+
+        assert scale("181.mcf") < scale("186.crafty")
+
+
+class TestAppTargetModeling:
+    def test_dataset_target(self, spec_archive):
+        ds = records_to_dataset(spec_archive("xeon"), "app:176.gcc")
+        assert ds.target_name == "app:176.gcc"
+        assert np.all(ds.target > 0)
+
+    @pytest.mark.parametrize("app", ["181.mcf", "186.crafty", "171.swim"])
+    def test_chronological_app_prediction(self, app, spec_archive):
+        # Individual applications are predictable chronologically too.
+        recs = spec_archive("opteron")
+        train = records_to_dataset([r for r in recs if r.year == 2005],
+                                   f"app:{app}")
+        test = records_to_dataset([r for r in recs if r.year == 2006],
+                                  f"app:{app}")
+        model = LinearRegressionModel("backward").fit(train)
+        err = summarize_errors(model.predict(test), test.target)
+        assert err.mean < 8.0, app

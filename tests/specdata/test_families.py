@@ -1,0 +1,63 @@
+"""Tests for the processor-family technology models."""
+
+import pytest
+
+from repro.specdata.families import FAMILIES, FAMILY_ORDER, ProcessorFamily, YearTech, get_family
+
+
+class TestRegistry:
+    def test_seven_families(self):
+        assert len(FAMILIES) == 7
+        assert set(FAMILY_ORDER) == set(FAMILIES)
+
+    def test_lookup(self):
+        assert get_family("xeon").vendor == "Intel"
+        with pytest.raises(KeyError):
+            get_family("athlon")
+
+    def test_opteron_smp_ways(self):
+        assert get_family("opteron").n_chips == 1
+        assert get_family("opteron-2").n_chips == 2
+        assert get_family("opteron-4").n_chips == 4
+        assert get_family("opteron-8").n_chips == 8
+
+
+class TestTechnologyEvolution:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_clocks_nondecreasing_over_years(self, family):
+        fam = get_family(family)
+        years = sorted(fam.years)
+        tops = [max(fam.years[y].clocks) for y in years]
+        assert tops == sorted(tops)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_2005_and_2006_present(self, family):
+        # The chronological experiments need the paper's train/test years.
+        fam = get_family(family)
+        assert 2005 in fam.years and 2006 in fam.years
+        assert fam.years[2005].count >= 10
+        assert fam.years[2006].count >= 10
+
+    def test_pentium4_has_long_history(self):
+        assert min(get_family("pentium-4").years) == 2000
+
+    def test_yeartech_validation(self):
+        with pytest.raises(ValueError):
+            YearTech(-1, (1000,), (400,), (256,), (0,), (266,), (1,))
+        with pytest.raises(ValueError):
+            YearTech(5, (), (400,), (256,), (0,), (266,), (1,))
+
+
+class TestFamilyValidation:
+    def test_rejects_zero_chips(self):
+        fam = get_family("xeon")
+        with pytest.raises(ValueError):
+            ProcessorFamily(
+                name="bad", display="Bad", vendor="X",
+                n_chips=0, cores_per_chip=1, smt_available=False,
+                arch_factor=1.0, arch_growth=0.0, scaling_eff=0.9,
+                l1i_kb=16.0, l1d_options=(16.0,), l1_per_core_prob=1.0,
+                l2_onchip_prob=1.0, l2_shared_prob=0.0,
+                companies=("A",), system_stems=("S",),
+                years=fam.years,
+            )

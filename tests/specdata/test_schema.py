@@ -1,0 +1,83 @@
+"""Tests for the 32-parameter announcement schema."""
+
+import numpy as np
+import pytest
+
+from repro.ml.dataset import ColumnRole
+from repro.specdata.schema import PARAMETER_FIELDS, SystemRecord, records_to_dataset
+
+
+def _record(**overrides):
+    kw = dict(
+        family="xeon", year=2005, quarter=2,
+        company="Dell", system_name="PowerEdge 1850 (0542)",
+        processor_model="Xeon 3.40GHz", bus_frequency=800.0,
+        processor_speed=3400.0, fpu_integrated=True,
+        total_cores=1, total_chips=1, cores_per_chip=1,
+        smt=True, parallel=False,
+        l1i_size=12.0, l1d_size=16.0, l1_per_core=True,
+        l2_size=2048.0, l2_onchip=True, l2_shared=False, l2_unified=True,
+        l3_size=0.0, l3_onchip=False, l3_per_core=False,
+        l3_shared=False, l3_unified=False,
+        l4_size=0.0, l4_shared_count=0, l4_onchip=False,
+        memory_size=4.0, memory_frequency=400.0,
+        hd_size=73.0, hd_speed=10000.0, hd_type="SCSI",
+        extra_components="none",
+        specint_rate=18.5, specfp_rate=17.2,
+    )
+    kw.update(overrides)
+    return SystemRecord(**kw)
+
+
+class TestSchema:
+    def test_exactly_32_parameters(self):
+        assert len(PARAMETER_FIELDS) == 32
+
+    def test_valid_record(self):
+        _record()
+
+    def test_core_arithmetic_enforced(self):
+        with pytest.raises(ValueError, match="total_cores"):
+            _record(total_cores=2)
+
+    def test_rejects_bad_quarter(self):
+        with pytest.raises(ValueError):
+            _record(quarter=5)
+
+    def test_rejects_nonpositive_rating(self):
+        with pytest.raises(ValueError):
+            _record(specint_rate=0.0)
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ValueError):
+            _record(l3_size=-1.0)
+
+
+class TestRecordsToDataset:
+    def test_32_columns(self):
+        ds = records_to_dataset([_record(), _record(processor_speed=3600.0)])
+        assert len(ds.column_names) == 32
+        assert ds.n_records == 2
+
+    def test_roles_assigned(self):
+        ds = records_to_dataset([_record()])
+        assert ds.column("processor_speed").role is ColumnRole.NUMERIC
+        assert ds.column("smt").role is ColumnRole.FLAG
+        assert ds.column("company").role is ColumnRole.CATEGORICAL
+
+    def test_target_selection(self):
+        recs = [_record()]
+        assert records_to_dataset(recs, "specint_rate").target[0] == 18.5
+        assert records_to_dataset(recs, "specfp_rate").target[0] == 17.2
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            records_to_dataset([_record()], "specweb")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            records_to_dataset([])
+
+    def test_values_roundtrip(self):
+        ds = records_to_dataset([_record(memory_size=8.0)])
+        assert ds.column("memory_size").values[0] == 8.0

@@ -1,0 +1,52 @@
+"""Calibration of the synthetic archive against the paper's §4.1 profiles.
+
+The paper reports records/range/variation per family: Opteron 138/1.40/0.08,
+Opteron-2 152/1.58/0.11, Opteron-4 158/1.70/0.12, Opteron-8 58/1.68/0.13,
+Pentium D 71/1.45/0.10, Pentium 4 66/3.72/0.34, Xeon 216/1.34/0.09.
+"""
+
+import pytest
+
+from repro.util.stats import profile_responses
+
+PAPER = {
+    "xeon": (216, 1.34, 0.09),
+    "pentium-4": (66, 3.72, 0.34),
+    "pentium-d": (71, 1.45, 0.10),
+    "opteron": (138, 1.40, 0.08),
+    "opteron-2": (152, 1.58, 0.11),
+    "opteron-4": (158, 1.70, 0.12),
+    "opteron-8": (58, 1.68, 0.13),
+}
+
+
+@pytest.mark.parametrize("family", sorted(PAPER))
+def test_record_counts_exact(family, spec_archive):
+    want, _, _ = PAPER[family]
+    assert len(spec_archive(family)) == want
+
+
+@pytest.mark.parametrize("family", sorted(PAPER))
+def test_range_within_regime(family, spec_archive):
+    _, want, _ = PAPER[family]
+    got = profile_responses([r.specint_rate for r in spec_archive(family)]).range
+    assert want * 0.75 <= got <= want * 1.35, f"{family}: {got:.2f} vs {want}"
+
+
+@pytest.mark.parametrize("family", sorted(PAPER))
+def test_variation_within_regime(family, spec_archive):
+    _, _, want = PAPER[family]
+    got = profile_responses([r.specint_rate for r in spec_archive(family)]).variation
+    assert want * 0.5 <= got <= want * 1.7, f"{family}: {got:.3f} vs {want}"
+
+
+def test_pentium4_widest_range(spec_archive):
+    ranges = {f: profile_responses([r.specint_rate for r in spec_archive(f)]).range
+              for f in PAPER}
+    assert max(ranges, key=ranges.get) == "pentium-4"
+
+
+def test_single_opteron_tightest_opteron_range(spec_archive):
+    ranges = {f: profile_responses([r.specint_rate for r in spec_archive(f)]).range
+              for f in ("opteron", "opteron-2", "opteron-4", "opteron-8")}
+    assert ranges["opteron"] <= min(ranges["opteron-2"], ranges["opteron-4"]) + 0.2

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(["sweep", "mcf"])
+        assert args.command == "sweep" and args.app == "mcf"
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "quake3"])
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sampled-dse", "gcc", "--models", "GBM"])
+
+    def test_chronological_defaults(self):
+        args = build_parser().parse_args(["chronological", "xeon"])
+        assert args.train_year == 2005 and args.test_year == 2006
+        assert len(args.models) == 9
+
+
+class TestCommands:
+    def test_sweep_runs(self, capsys):
+        assert main(["sweep", "applu"]) == 0
+        out = capsys.readouterr().out
+        assert "4608 configurations" in out
+        assert "range" in out
+
+    def test_sampled_dse_runs(self, capsys):
+        rc = main(["sampled-dse", "applu", "--rates", "0.01",
+                   "--models", "LR-B", "--cv-reps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Model Error - applu" in out
+        assert "LR-B" in out
+
+    def test_chronological_runs(self, capsys):
+        rc = main(["chronological", "pentium-d", "--models", "LR-E", "LR-B"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Chronological Predictions - pentium-d" in out
+        assert "best:" in out
+
+    def test_chronological_app_target(self, capsys):
+        rc = main(["chronological", "opteron", "--models", "LR-B",
+                   "--target", "app:181.mcf"])
+        assert rc == 0
+        assert "best:" in capsys.readouterr().out
+
+    def test_importance_runs(self, capsys):
+        assert main(["importance", "opteron", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "standardized beta" in out
+        assert "sensitivity importance" in out

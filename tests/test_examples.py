@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are the adoption surface; these tests keep them from rotting.
+Each runs as a subprocess with reduced arguments where supported.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py", "applu")
+        assert "true error over all 4608 configs" in out
+        assert "NN-E" in out and "LR-B" in out
+
+    def test_chronological_spec(self):
+        out = _run("chronological_spec.py", "pentium-d")
+        assert "Chronological Predictions - pentium-d" in out
+        assert "Best linear regression" in out
+
+    def test_detailed_simulation(self):
+        out = _run("detailed_simulation.py", "gzip", "60000")
+        assert "detailed: CPI" in out
+        assert "SimPoint" in out
+
+    def test_importance_analysis(self):
+        out = _run("importance_analysis.py", "opteron")
+        assert "standardized beta" in out
+        assert "sensitivity importance" in out
+
+    def test_sampled_dse(self):
+        out = _run("sampled_dse_microarch.py", "applu")
+        assert "Model Error - applu" in out
+        assert "regret" in out

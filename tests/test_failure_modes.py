@@ -1,0 +1,129 @@
+"""Failure-injection tests: the library fails loudly, not silently.
+
+Each test drives a component into a degenerate or error state and asserts
+the failure is surfaced as a clear exception (or handled deliberately),
+never as silently wrong numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml import Dataset, LinearRegressionModel, NeuralNetworkModel
+from repro.ml.dataset import Column, ColumnRole
+from repro.ml.selection import estimate_error
+from repro.parallel import ProcessExecutor, SerialExecutor
+
+
+def _tiny_ds(n=6):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        [Column("x", ColumnRole.NUMERIC, rng.random(n))],
+        rng.random(n) + 1.0,
+    )
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise RuntimeError("task 3 exploded")
+    return x
+
+
+class TestExecutorFailures:
+    def test_serial_propagates_task_exception(self):
+        with pytest.raises(RuntimeError, match="task 3 exploded"):
+            SerialExecutor().map(_raise_on_three, [1, 2, 3, 4])
+
+    def test_process_pool_propagates_task_exception(self):
+        with ProcessExecutor(max_workers=2) as ex:
+            with pytest.raises(RuntimeError, match="task 3 exploded"):
+                ex.map(_raise_on_three, [1, 2, 3, 4])
+
+
+class TestDegenerateTrainingData:
+    def test_constant_target_lr(self):
+        ds = Dataset(
+            [Column("x", ColumnRole.NUMERIC, np.arange(10, dtype=float))],
+            np.full(10, 5.0),
+        )
+        model = LinearRegressionModel("backward").fit(ds)
+        np.testing.assert_allclose(model.predict(ds), 5.0, atol=1e-9)
+
+    def test_constant_target_nn(self):
+        ds = Dataset(
+            [Column("x", ColumnRole.NUMERIC, np.arange(20, dtype=float))],
+            np.full(20, 5.0),
+        )
+        model = NeuralNetworkModel("single", seed=1).fit(ds)
+        pred = model.predict(ds)
+        assert np.all(np.isfinite(pred))
+        np.testing.assert_allclose(pred, 5.0, atol=1.0)
+
+    def test_single_predictor_duplicated_rows(self):
+        # All-identical rows: rank-deficient beyond repair; must not crash.
+        ds = Dataset(
+            [Column("x", ColumnRole.NUMERIC, np.full(8, 2.0)),
+             Column("y", ColumnRole.NUMERIC, np.arange(8, dtype=float))],
+            np.arange(8, dtype=float) + 1.0,
+        )
+        model = LinearRegressionModel("enter").fit(ds)
+        assert np.all(np.isfinite(model.predict(ds)))
+
+    def test_two_record_training(self):
+        ds = _tiny_ds(2)
+        model = LinearRegressionModel("enter").fit(ds)
+        assert np.all(np.isfinite(model.predict(ds)))
+
+    def test_cv_on_tiny_dataset_still_works(self, rng):
+        est = estimate_error(
+            lambda: LinearRegressionModel("enter"), _tiny_ds(4), rng, n_reps=3)
+        assert len(est.per_rep) == 3
+        assert all(np.isfinite(e) for e in est.per_rep)
+
+    def test_cv_on_single_record_rejected(self, rng):
+        with pytest.raises(ValueError):
+            estimate_error(
+                lambda: LinearRegressionModel("enter"), _tiny_ds(1), rng)
+
+
+class TestPredictionTimeMismatches:
+    def test_missing_column_at_predict(self):
+        train = _tiny_ds()
+        model = LinearRegressionModel("enter").fit(train)
+        bad = Dataset(
+            [Column("other", ColumnRole.NUMERIC, np.arange(3, dtype=float))],
+            np.ones(3),
+        )
+        with pytest.raises(KeyError):
+            model.predict(bad)
+
+    def test_categorical_becomes_nonnumeric_at_predict(self):
+        n = 8
+        train = Dataset(
+            [Column("lvl", ColumnRole.CATEGORICAL,
+                    np.array(["1", "2"] * (n // 2)))],
+            np.arange(n, dtype=float) + 1.0,
+        )
+        model = LinearRegressionModel("enter").fit(train)  # coerces "1"/"2"
+        bad = Dataset(
+            [Column("lvl", ColumnRole.CATEGORICAL,
+                    np.array(["one", "two"] * (n // 2)))],
+            np.arange(n, dtype=float) + 1.0,
+        )
+        with pytest.raises(ValueError, match="numeric-coercible"):
+            model.predict(bad)
+
+
+class TestSimulatorEdges:
+    def test_trace_shorter_than_interval(self):
+        from repro.simulator import generate_trace, get_profile, basic_block_vectors
+
+        tr = generate_trace(get_profile("gzip"), 500, interval_length=10_000)
+        bbv = basic_block_vectors(tr)
+        assert bbv.shape[0] == 1  # single partial interval, not a crash
+
+    def test_interval_model_rejects_negative_instructions(self):
+        from repro.simulator import enumerate_design_space, evaluate_config, get_profile
+
+        cfg = next(iter(enumerate_design_space()))
+        with pytest.raises(ValueError):
+            evaluate_config(cfg, get_profile("gcc"), n_instructions=-5)

@@ -1,0 +1,120 @@
+"""Tests for the paper-defined summary statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    DataProfile,
+    geometric_mean,
+    mean_absolute_percentage_error,
+    percentage_errors,
+    profile_responses,
+    response_range,
+    response_variation,
+)
+
+positive_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+)
+
+
+class TestGeometricMean:
+    def test_matches_manual(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, float("nan")])
+
+    @given(positive_lists)
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+    @given(positive_lists, st.floats(min_value=0.1, max_value=10))
+    def test_scale_equivariant(self, values, k):
+        a = geometric_mean(values)
+        b = geometric_mean([v * k for v in values])
+        assert b == pytest.approx(a * k, rel=1e-9)
+
+
+class TestResponseRange:
+    def test_paper_definition(self):
+        # "the ratio of the fastest to slowest configuration"
+        assert response_range([100, 200, 638]) == pytest.approx(6.38)
+
+    def test_constant_data(self):
+        assert response_range([5, 5, 5]) == pytest.approx(1.0)
+
+    @given(positive_lists)
+    def test_at_least_one(self, values):
+        assert response_range(values) >= 1.0
+
+
+class TestResponseVariation:
+    def test_is_coefficient_of_variation(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert response_variation(y) == pytest.approx(y.std() / y.mean())
+
+    def test_constant_is_zero(self):
+        assert response_variation([3, 3, 3]) == pytest.approx(0.0)
+
+    def test_uniform_range_134_is_near_009(self):
+        # The sanity check that identified the paper's metric: a near-uniform
+        # spread over a 1.34x range has CV ~ 0.084 (Xeon: 1.34 / 0.09).
+        y = np.linspace(1.0, 1.34, 216)
+        assert 0.07 < response_variation(y) < 0.10
+
+
+class TestProfileResponses:
+    def test_returns_dataclass(self):
+        p = profile_responses([1.0, 2.0])
+        assert isinstance(p, DataProfile)
+        assert p.count == 2
+        assert p.range == pytest.approx(2.0)
+
+    def test_str_format(self):
+        p = DataProfile(138, 1.40, 0.08)
+        assert str(p) == "138/1.40/0.08"
+
+
+class TestPercentageErrors:
+    def test_paper_formula(self):
+        # 100 * |yhat - y| / y
+        errs = percentage_errors(np.array([110.0]), np.array([100.0]))
+        assert errs[0] == pytest.approx(10.0)
+
+    def test_symmetric_in_direction(self):
+        lo = percentage_errors(np.array([90.0]), np.array([100.0]))
+        hi = percentage_errors(np.array([110.0]), np.array([100.0]))
+        assert lo[0] == pytest.approx(hi[0])
+
+    def test_rejects_zero_actual(self):
+        with pytest.raises(ValueError):
+            percentage_errors(np.array([1.0]), np.array([0.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            percentage_errors(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_perfect_prediction_is_zero(self):
+        y = np.array([3.0, 5.0])
+        assert mean_absolute_percentage_error(y, y) == pytest.approx(0.0)
+
+    @given(positive_lists)
+    def test_mape_nonnegative(self, values):
+        y = np.asarray(values)
+        yhat = y * 1.05
+        assert mean_absolute_percentage_error(yhat, y) == pytest.approx(5.0, rel=1e-6)

@@ -1,0 +1,51 @@
+"""Tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.util.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.50" in out and "3.25" in out
+
+    def test_title_line(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_ndigits(self):
+        out = format_table(["x"], [[1.23456]], ndigits=4)
+        assert "1.2346" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        out = format_series("r", ["1%", "2%"], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        header = out.splitlines()[0]
+        assert "r" in header and "a" in header and "b" in header
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("r", ["1%"], {"a": [1.0, 2.0]})
+
+
+class TestFormatKv:
+    def test_alignment(self):
+        out = format_kv({"speed": 0.659, "memory_frequency": 0.154})
+        lines = out.splitlines()
+        assert all(" : " in line for line in lines)
+
+    def test_title(self):
+        out = format_kv({"a": 1}, title="Importances")
+        assert out.splitlines()[0] == "Importances"
