@@ -10,11 +10,9 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core import model_builders, run_sampled_dse
 from repro.core.chronological import chronological_datasets
-from repro.ml.nn.methods import NN_METHODS
 from repro.ml.nn.model import NeuralNetworkModel
 from repro.simulator import (
     design_space_dataset,

@@ -12,7 +12,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core import model_builders, run_chronological, run_sampled_dse
 from repro.ml import LinearRegressionModel, summarize_errors

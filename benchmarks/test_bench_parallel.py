@@ -6,7 +6,6 @@ serial vs process-pool cost of a representative CPU-bound task fan-out.
 """
 
 import numpy as np
-import pytest
 
 from repro.parallel import ProcessExecutor, SerialExecutor
 

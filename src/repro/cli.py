@@ -15,12 +15,25 @@ Subcommands
     The §4.4 analysis: NN sensitivity importances and LR standardized
     betas for one processor family.
 
+Fault tolerance
+---------------
+The sweep-shaped subcommands (``sweep``, ``sampled-dse``, ``chronological``)
+accept ``--parallel``, ``--retries N``, ``--task-timeout SEC``,
+``--checkpoint PATH``, and ``--resume``; any of the latter four wraps the
+run in a :class:`repro.parallel.ResilientExecutor`. Expected failures from
+the :mod:`repro.errors` taxonomy exit with distinct codes (TaskFailed 3,
+TaskTimeout 4, SweepAborted 5, CheckpointError 6) and a one-line stderr
+message instead of a traceback. A hidden ``--chaos`` flag drives the
+failure-injection harness for chaos runs (e.g. ``--chaos exc=0.1,crash=0.01``).
+
 Examples
 --------
 ::
 
     python -m repro sweep mcf
     python -m repro sampled-dse gcc --rates 0.01 0.05 --models NN-E LR-B
+    python -m repro sampled-dse gcc --parallel --retries 2 \\
+        --checkpoint run.jsonl --resume
     python -m repro chronological opteron-8 --models LR-E LR-S NN-Q
     python -m repro importance pentium-d
 """
@@ -45,6 +58,16 @@ from repro.core import (
     run_rate_sweep,
 )
 from repro.core.chronological import chronological_datasets
+from repro.errors import ReproError
+from repro.parallel import (
+    CheckpointJournal,
+    Executor,
+    FaultInjector,
+    ProcessExecutor,
+    ResilientExecutor,
+    RetryPolicy,
+    SerialExecutor,
+)
 from repro.simulator import (
     SPEC2000_PROFILES,
     design_space_dataset,
@@ -63,6 +86,52 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
 
 
+def _add_resilience(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("fault tolerance")
+    g.add_argument("--parallel", action="store_true",
+                   help="run sweep tasks on a process pool")
+    g.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry each failed task up to N times "
+                        "(exponential backoff, deterministic jitter)")
+    g.add_argument("--task-timeout", type=float, default=None, metavar="SEC",
+                   help="per-task wall-clock budget; enforced with --parallel "
+                        "by killing and rebuilding hung workers")
+    g.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="JSONL journal recording each completed task")
+    g.add_argument("--resume", action="store_true",
+                   help="skip tasks already recorded in --checkpoint")
+    # Chaos harness for fault-tolerance drills; deliberately undocumented in
+    # --help. Spec: comma-separated exc=P, delay=P, crash=P, delay-seconds=S.
+    g.add_argument("--chaos", default=None, help=argparse.SUPPRESS)
+
+
+def _make_executor(args: argparse.Namespace) -> Executor:
+    """Build the executor the resilience flags describe (caller closes it)."""
+    inner: Executor = ProcessExecutor() if args.parallel else SerialExecutor()
+    wants_resilience = (
+        args.retries > 0 or args.task_timeout is not None
+        or args.checkpoint is not None or args.chaos is not None
+    )
+    if not wants_resilience:
+        return inner
+    journal = (CheckpointJournal(args.checkpoint, resume=args.resume)
+               if args.checkpoint is not None else None)
+    injector = None
+    if args.chaos is not None:
+        try:
+            injector = FaultInjector.parse(args.chaos, seed=args.seed)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from None
+    return ResilientExecutor(
+        inner,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        task_timeout=args.task_timeout,
+        journal=journal,
+        injector=injector,
+        seed=args.seed,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -75,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="simulate the full design space for one app")
     p.add_argument("app", choices=sorted(SPEC2000_PROFILES))
     _add_common(p)
+    _add_resilience(p)
 
     p = sub.add_parser("sampled-dse", help="Figure 1a: sampled design-space exploration")
     p.add_argument("app", choices=sorted(SPEC2000_PROFILES))
@@ -83,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALL_MODELS))
     p.add_argument("--cv-reps", type=int, default=5)
     _add_common(p)
+    _add_resilience(p)
 
     p = sub.add_parser("chronological", help="Figure 1b: predict next year's systems")
     p.add_argument("family", choices=list(FAMILY_ORDER))
@@ -93,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", default="specint_rate",
                    help="specint_rate, specfp_rate, or app:<name>")
     _add_common(p)
+    _add_resilience(p)
 
     p = sub.add_parser("importance", help="Sec 4.4: parameter importance analysis")
     p.add_argument("family", choices=list(FAMILY_ORDER))
@@ -105,7 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     configs = list(enumerate_design_space())
-    cycles = sweep_design_space(configs, get_profile(args.app))
+    with _make_executor(args) as ex:
+        cycles = sweep_design_space(configs, get_profile(args.app), executor=ex)
     prof = profile_responses(cycles)
     print(f"{args.app}: {len(configs)} configurations")
     print(f"  cycle range (best/worst)   : {prof.range:.2f}x")
@@ -117,12 +190,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_sampled_dse(args: argparse.Namespace) -> int:
     configs = list(enumerate_design_space())
-    cycles = sweep_design_space(configs, get_profile(args.app))
-    space = design_space_dataset(configs, cycles)
+    space = design_space_dataset(
+        configs, sweep_design_space(configs, get_profile(args.app)))
     builders = model_builders(tuple(args.models), seed=args.seed)
     rng = np.random.default_rng(args.seed)
-    results = run_rate_sweep(space, builders, args.rates, rng,
-                             n_cv_reps=args.cv_reps)
+    with _make_executor(args) as ex:
+        results = run_rate_sweep(space, builders, args.rates, rng,
+                                 n_cv_reps=args.cv_reps, executor=ex)
     print(figure_sampled_series(args.app, results, args.models))
     return 0
 
@@ -130,10 +204,11 @@ def _cmd_sampled_dse(args: argparse.Namespace) -> int:
 def _cmd_chronological(args: argparse.Namespace) -> int:
     records = generate_family_records(args.family, seed=args.seed)
     builders = model_builders(tuple(args.models), seed=args.seed)
-    result = run_chronological(
-        args.family, builders, args.train_year, args.test_year,
-        seed=args.seed, target=args.target, records=records,
-    )
+    with _make_executor(args) as ex:
+        result = run_chronological(
+            args.family, builders, args.train_year, args.test_year,
+            seed=args.seed, target=args.target, records=records, executor=ex,
+        )
     print(figure_chronological_table(result))
     print(f"\nbest: {result.best_label} at {result.best_error:.2f}%")
     return 0
@@ -163,9 +238,25 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    """CLI entry point; returns the process exit code.
+
+    Expected failures (the :mod:`repro.errors` taxonomy) become a one-line
+    stderr message plus the class's distinct exit code — no traceback.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint PATH")
+    if getattr(args, "retries", 0) < 0:
+        parser.error("--retries must be >= 0")
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -22,6 +22,7 @@ from repro.core.reporting import (
 from repro.core.search import (
     SearchQuality,
     evaluate_search_quality,
+    evaluate_search_quality_batch,
     rank_correlation,
     regret,
     top_k_recall,
@@ -50,6 +51,7 @@ __all__ = [
     "table3",
     "SearchQuality",
     "evaluate_search_quality",
+    "evaluate_search_quality_batch",
     "rank_correlation",
     "regret",
     "top_k_recall",

@@ -18,6 +18,7 @@ import numpy as np
 from repro.ml.dataset import Dataset
 from repro.ml.metrics import ErrorSummary, summarize_errors
 from repro.ml.selection import ErrorEstimate, ModelBuilder, estimate_error
+from repro.parallel.executor import Executor, default_executor
 from repro.specdata.generator import generate_family_records
 from repro.specdata.schema import SystemRecord, records_to_dataset
 
@@ -82,13 +83,15 @@ def run_chronological(
     n_cv_reps: int = 5,
     target: str = "specint_rate",
     records: Sequence[SystemRecord] | None = None,
+    executor: Executor | None = None,
 ) -> ChronologicalResult:
     """Run the Figure-1b workflow for one family.
 
     Every candidate trains on the ``train_year`` announcements; errors are
     measured on ``test_year``. CV estimates on the training year are also
     computed (the paper uses them to pick the deployment model before the
-    future data exists).
+    future data exists). ``executor`` fans out the holdout fits without
+    changing any number (shared randomness stays in this driver).
     """
     if not builders:
         raise ValueError("no model builders given")
@@ -100,7 +103,8 @@ def run_chronological(
     errors: dict[str, ErrorSummary] = {}
     estimates: dict[str, ErrorEstimate] = {}
     for label, builder in builders.items():
-        estimates[label] = estimate_error(builder, train, rng, n_reps=n_cv_reps)
+        estimates[label] = estimate_error(builder, train, rng, n_reps=n_cv_reps,
+                                          executor=executor)
         model = builder()
         model.fit(train)
         errors[label] = summarize_errors(model.predict(test), test.target)
@@ -115,6 +119,16 @@ def run_chronological(
     )
 
 
+def _run_year_pair(args: tuple) -> ChronologicalResult:
+    """One rolling fold (module-level so pairs can cross process borders)."""
+    family, builders, y0, y1, seed, n_cv_reps, target, recs = args
+    return run_chronological(
+        family, builders, y0, y1, seed=seed,
+        rng=np.random.default_rng((seed, y0)),
+        n_cv_reps=n_cv_reps, target=target, records=recs,
+    )
+
+
 def run_rolling_chronological(
     family: str,
     builders: Mapping[str, ModelBuilder],
@@ -122,6 +136,8 @@ def run_rolling_chronological(
     n_cv_reps: int = 5,
     target: str = "specint_rate",
     records: Sequence[SystemRecord] | None = None,
+    executor: Executor | None = None,
+    parallel: bool | None = None,
 ) -> list[ChronologicalResult]:
     """Rolling-origin evaluation: every consecutive year pair in the archive.
 
@@ -130,18 +146,24 @@ def run_rolling_chronological(
     chronological findings are an artifact of the chosen year. Years with
     fewer than eight training records are skipped (too sparse for the
     5x50% holdout estimation to mean anything).
+
+    Each fold derives its own RNG from ``(seed, year)``, so fanning the
+    folds out over an ``executor`` is bit-identical to the serial loop.
+    With ``parallel`` set (and no ``executor``), the sweep creates — and
+    always closes — a :func:`repro.parallel.default_executor` itself.
     """
     recs = list(records) if records is not None else generate_family_records(family, seed=seed)
     years = sorted({r.year for r in recs})
-    results: list[ChronologicalResult] = []
-    for y0, y1 in zip(years[:-1], years[1:]):
-        if sum(r.year == y0 for r in recs) < 8:
-            continue
-        results.append(run_chronological(
-            family, builders, y0, y1, seed=seed,
-            rng=np.random.default_rng((seed, y0)),
-            n_cv_reps=n_cv_reps, target=target, records=recs,
-        ))
-    if not results:
+    tasks = [
+        (family, builders, y0, y1, seed, n_cv_reps, target, recs)
+        for y0, y1 in zip(years[:-1], years[1:])
+        if sum(r.year == y0 for r in recs) >= 8
+    ]
+    if not tasks:
         raise ValueError(f"{family}: no usable consecutive year pairs")
-    return results
+    if executor is not None:
+        return executor.map(_run_year_pair, tasks)
+    if parallel is not None:
+        with default_executor(len(tasks), parallel) as ex:
+            return ex.map(_run_year_pair, tasks)
+    return [_run_year_pair(t) for t in tasks]

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.ml.dataset import Dataset
 from repro.ml.selection import ErrorEstimate, ModelBuilder, estimate_error
+from repro.parallel.executor import Executor, default_executor
 from repro.util.stats import mean_absolute_percentage_error
 
 __all__ = ["ModelOutcome", "SampledDseResult", "run_sampled_dse", "run_rate_sweep", "sampling_counts"]
@@ -75,6 +76,7 @@ def run_sampled_dse(
     rng: np.random.Generator,
     n_cv_reps: int = 5,
     select_statistic: str = "max",
+    executor: Executor | None = None,
 ) -> SampledDseResult:
     """Run the Figure-1a workflow at one sampling rate.
 
@@ -92,6 +94,12 @@ def run_sampled_dse(
     select_statistic:
         ``"max"`` (paper default) or ``"mean"`` — which estimate drives the
         select meta-method.
+    executor:
+        Optional executor for the holdout repetitions (the heavy model
+        fits). All shared randomness stays in this driver, so results are
+        bit-identical with and without an executor — and a
+        :class:`repro.parallel.ResilientExecutor` adds retry, timeout, and
+        checkpoint/resume behaviour without changing the numbers.
     """
     if not builders:
         raise ValueError("no model builders given")
@@ -100,7 +108,8 @@ def run_sampled_dse(
 
     outcomes: dict[str, ModelOutcome] = {}
     for label, builder in builders.items():
-        estimate = estimate_error(builder, sample, rng, n_reps=n_cv_reps)
+        estimate = estimate_error(builder, sample, rng, n_reps=n_cv_reps,
+                                  executor=executor)
         model = builder()
         model.fit(sample)
         true_err = mean_absolute_percentage_error(model.predict(space), space.target)
@@ -124,9 +133,21 @@ def run_rate_sweep(
     rates: Sequence[float],
     rng: np.random.Generator,
     n_cv_reps: int = 5,
+    executor: Executor | None = None,
+    parallel: bool | None = None,
 ) -> list[SampledDseResult]:
-    """Run the workflow across sampling rates (the x-axis of Figures 2-6)."""
+    """Run the workflow across sampling rates (the x-axis of Figures 2-6).
+
+    Pass an ``executor`` to fan out (and make resilient) the per-rate model
+    fits, or set ``parallel`` to let the sweep create — and always close —
+    a :func:`repro.parallel.default_executor` itself.
+    """
+    if executor is None and parallel is not None:
+        with default_executor(len(rates) * len(builders) * n_cv_reps, parallel) as ex:
+            return run_rate_sweep(space, builders, rates, rng,
+                                  n_cv_reps=n_cv_reps, executor=ex)
     return [
-        run_sampled_dse(space, builders, rate, rng, n_cv_reps=n_cv_reps)
+        run_sampled_dse(space, builders, rate, rng, n_cv_reps=n_cv_reps,
+                        executor=executor)
         for rate in rates
     ]

@@ -1,0 +1,126 @@
+"""Shared exception taxonomy for fault-tolerant experiment execution.
+
+Every expected failure mode of the sweep drivers maps to one class here so
+that callers (and the CLI) can react programmatically instead of parsing
+tracebacks:
+
+* :class:`TaskFailed` — one task exhausted its retry budget.
+* :class:`TaskTimeout` — one task exceeded its wall-clock budget (a subtype
+  of :class:`TaskFailed`, so generic handlers still catch it).
+* :class:`SweepAborted` — a sweep finished with permanently failed tasks; it
+  carries the partial results and the per-task failure records so completed
+  work (typically also checkpointed) is never thrown away.
+* :class:`CheckpointError` — a checkpoint journal is unreadable or corrupt.
+
+Each class carries a distinct ``exit_code`` that :func:`repro.cli.main`
+returns, so shell scripts can distinguish "a task timed out" from "the
+journal is corrupt" without scraping stderr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "ReproError",
+    "TaskFailed",
+    "TaskTimeout",
+    "SweepAborted",
+    "CheckpointError",
+    "InjectedFault",
+    "TaskFailure",
+]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Post-mortem record of one permanently failed task."""
+
+    index: int           # position in the sweep's task list
+    fingerprint: str     # stable task identity (see resilient.task_fingerprint)
+    attempts: int        # attempts consumed, including the final one
+    error_type: str      # exception class name (or "TaskTimeout")
+    message: str
+    kind: str = "exception"  # "exception" | "timeout" | "crash"
+
+    def summary(self) -> str:
+        return (
+            f"task {self.index} [{self.kind}] after {self.attempts} "
+            f"attempt(s): {self.error_type}: {self.message}"
+        )
+
+
+class ReproError(Exception):
+    """Base for expected, user-reportable failures.
+
+    The CLI prints ``str(exc)`` as a one-line stderr message and returns
+    ``exit_code`` instead of dumping a traceback.
+    """
+
+    exit_code: int = 1
+
+
+class TaskFailed(ReproError):
+    """A single task failed permanently (retry budget exhausted)."""
+
+    exit_code = 3
+
+    def __init__(self, message: str, failure: TaskFailure | None = None) -> None:
+        super().__init__(message)
+        self.failure = failure
+
+
+class TaskTimeout(TaskFailed):
+    """A task exceeded its per-task wall-clock timeout."""
+
+    exit_code = 4
+
+
+class SweepAborted(ReproError):
+    """A sweep completed with permanent task failures.
+
+    Carries everything needed to triage or resume: ``partial_results`` holds
+    one slot per task in input order (``None`` where the task failed) and
+    ``failures`` the per-task post-mortems.
+    """
+
+    exit_code = 5
+
+    def __init__(
+        self,
+        n_total: int,
+        partial_results: Sequence[object],
+        failures: Sequence[TaskFailure],
+        checkpointed: bool = False,
+    ) -> None:
+        self.n_total = n_total
+        self.partial_results = list(partial_results)
+        self.failures = list(failures)
+        self.checkpointed = checkpointed
+        n_done = n_total - len(self.failures)
+        hint = "; completed tasks are checkpointed (rerun with resume)" if checkpointed else ""
+        first = f"; first: {self.failures[0].summary()}" if self.failures else ""
+        super().__init__(
+            f"sweep aborted: {len(self.failures)}/{n_total} tasks failed "
+            f"permanently, {n_done} completed{hint}{first}"
+        )
+
+    @property
+    def n_completed(self) -> int:
+        return self.n_total - len(self.failures)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal could not be read or is corrupt."""
+
+    exit_code = 6
+
+
+class InjectedFault(RuntimeError):
+    """Transient fault raised by the failure-injection harness.
+
+    Deliberately *not* a :class:`ReproError`: injected faults model arbitrary
+    task exceptions, and the resilient layer must treat them exactly like any
+    other transient error (retry, then record as a :class:`TaskFailure`).
+    """

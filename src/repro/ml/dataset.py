@@ -31,6 +31,21 @@ class ColumnRole(Enum):
     CATEGORICAL = "categorical"
 
 
+def _check_finite(values: np.ndarray, what: str) -> None:
+    """Reject NaN/Inf with a message naming the field and first bad record.
+
+    Non-finite training values would not crash the fitters — they would
+    silently poison every downstream coefficient — so construction is the
+    one place they are caught.
+    """
+    bad = ~np.isfinite(values)
+    if bad.any():
+        raise ValueError(
+            f"{what} contains {int(bad.sum())} non-finite value(s) (NaN/Inf), "
+            f"first at record {int(np.argmax(bad))}"
+        )
+
+
 @dataclass(frozen=True)
 class Column:
     """A named predictor column with a role and its values."""
@@ -45,9 +60,11 @@ class Column:
             raise ValueError(f"column {self.name!r} values must be 1-D, got {values.ndim}-D")
         if self.role is ColumnRole.NUMERIC:
             values = values.astype(np.float64)
-            if not np.all(np.isfinite(values)):
-                raise ValueError(f"numeric column {self.name!r} contains non-finite values")
+            _check_finite(values, f"numeric column {self.name!r}")
         elif self.role is ColumnRole.FLAG:
+            # astype(bool) would silently map NaN/Inf to True; reject instead.
+            if np.issubdtype(values.dtype, np.floating):
+                _check_finite(values, f"flag column {self.name!r}")
             values = values.astype(bool)
         else:
             values = np.asarray([str(v) for v in values], dtype=object)
@@ -89,8 +106,7 @@ class Dataset:
         target_name: str = "y",
     ) -> None:
         target = np.asarray(target, dtype=np.float64).ravel()
-        if not np.all(np.isfinite(target)):
-            raise ValueError("target contains non-finite values")
+        _check_finite(target, f"target {target_name!r}")
         columns = list(columns)
         names = [c.name for c in columns]
         if len(set(names)) != len(names):

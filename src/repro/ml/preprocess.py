@@ -33,7 +33,7 @@ from typing import Literal
 
 import numpy as np
 
-from repro.ml.dataset import Column, ColumnRole, Dataset
+from repro.ml.dataset import ColumnRole, Dataset
 
 __all__ = ["MinMaxScaler", "Encoder", "EncoderReport"]
 

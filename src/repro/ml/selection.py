@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.ml.base import PredictiveModel
 from repro.ml.dataset import Dataset
+from repro.parallel.executor import Executor
 from repro.util.stats import mean_absolute_percentage_error
 
 __all__ = ["ErrorEstimate", "estimate_error", "select_model", "ModelBuilder"]
@@ -55,30 +56,44 @@ class ErrorEstimate:
         raise ValueError(f"statistic must be 'max' or 'mean', got {statistic!r}")
 
 
+def _holdout_rep(args: tuple[ModelBuilder, Dataset, Dataset]) -> float:
+    """One holdout repetition: fit on one half, score MAPE on the other.
+
+    Module-level so repetitions can cross a process boundary.
+    """
+    builder, fit_part, eval_part = args
+    model = builder()
+    model.fit(fit_part)
+    return mean_absolute_percentage_error(model.predict(eval_part), eval_part.target)
+
+
 def estimate_error(
     builder: ModelBuilder,
     train: Dataset,
     rng: np.random.Generator,
     n_reps: int = 5,
     holdout: float = 0.5,
+    executor: Executor | None = None,
 ) -> ErrorEstimate:
     """Estimate a model's predictive error on ``train`` by repeated holdout.
 
     Each repetition trains a fresh model on a random ``holdout`` fraction of
     ``train`` and measures mean |percentage error| on the remainder —
     Clementine's train/"simulate" split, repeated ``n_reps`` times.
+
+    The splits are always drawn serially from ``rng`` (so the stream of
+    draws — and therefore every number produced — is identical whether or
+    not an ``executor`` is given); only the model fits, which consume no
+    shared randomness, are fanned out.
     """
     if n_reps <= 0:
         raise ValueError(f"n_reps must be >= 1, got {n_reps}")
-    errors: list[float] = []
-    name = "model"
-    for _ in range(n_reps):
-        fit_part, eval_part = train.random_split(holdout, rng)
-        model = builder()
-        name = model.name
-        model.fit(fit_part)
-        pred = model.predict(eval_part)
-        errors.append(mean_absolute_percentage_error(pred, eval_part.target))
+    splits = [train.random_split(holdout, rng) for _ in range(n_reps)]
+    name = builder().name
+    if executor is None:
+        errors = [_holdout_rep((builder, f, e)) for f, e in splits]
+    else:
+        errors = executor.map(_holdout_rep, [(builder, f, e) for f, e in splits])
     return ErrorEstimate(model_name=name, per_rep=tuple(errors))
 
 
@@ -88,6 +103,7 @@ def select_model(
     rng: np.random.Generator,
     n_reps: int = 5,
     statistic: str = "max",
+    executor: Executor | None = None,
 ) -> tuple[str, dict[str, ErrorEstimate]]:
     """Run :func:`estimate_error` for every candidate and pick the winner.
 
@@ -101,7 +117,7 @@ def select_model(
     best_name: str | None = None
     best_value = np.inf
     for name, builder in builders.items():
-        est = estimate_error(builder, train, rng, n_reps=n_reps)
+        est = estimate_error(builder, train, rng, n_reps=n_reps, executor=executor)
         estimates[name] = est
         value = est.value(statistic)
         if value < best_value:

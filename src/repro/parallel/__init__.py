@@ -1,4 +1,5 @@
-"""Parallel execution substrate (serial / process-pool map, partitioning)."""
+"""Parallel execution substrate (serial / process-pool map, partitioning,
+fault-tolerant wrapper with retries, timeouts, and checkpoint/resume)."""
 
 from repro.parallel.executor import (
     Executor,
@@ -7,6 +8,13 @@ from repro.parallel.executor import (
     default_executor,
 )
 from repro.parallel.partition import balanced_chunks, chunk_bounds, interleaved_chunks
+from repro.parallel.resilient import (
+    CheckpointJournal,
+    FaultInjector,
+    ResilientExecutor,
+    RetryPolicy,
+    task_fingerprint,
+)
 
 __all__ = [
     "Executor",
@@ -16,4 +24,9 @@ __all__ = [
     "balanced_chunks",
     "chunk_bounds",
     "interleaved_chunks",
+    "CheckpointJournal",
+    "FaultInjector",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "task_fingerprint",
 ]

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Sequence, TypeVar
 
 __all__ = ["Executor", "SerialExecutor", "ProcessExecutor", "default_executor"]
 
@@ -109,6 +109,29 @@ class ProcessExecutor(Executor):
         pool = self._ensure_pool()
         chunksize = self._pick_chunksize(len(items))
         return list(pool.map(fn, items, chunksize=chunksize))
+
+    def submit(self, fn: Callable[[T], R], item: T):
+        """Dispatch one task and return its ``concurrent.futures.Future``.
+
+        Unlike :meth:`map` this gives the caller per-task control (used by
+        :class:`repro.parallel.resilient.ResilientExecutor` for timeouts and
+        retries) at the cost of unchunked IPC.
+        """
+        return self._ensure_pool().submit(fn, item)
+
+    def reset(self, kill: bool = False) -> None:
+        """Discard the pool so the next use builds a fresh one.
+
+        ``kill=True`` terminates worker processes first — the only way to
+        reclaim a worker stuck in a hung task.
+        """
+        if self._pool is None:
+            return
+        if kill:
+            for proc in list((getattr(self._pool, "_processes", None) or {}).values()):
+                proc.terminate()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
 
     def close(self) -> None:
         if self._pool is not None:

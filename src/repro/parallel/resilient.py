@@ -1,0 +1,566 @@
+"""Resilient execution: retries, timeouts, checkpoint/resume, fault injection.
+
+The library's sweeps are long and embarrassingly parallel — 4608 simulated
+configurations per application, nine models times five holdout repetitions —
+and a single crashed worker or hung task must not throw the whole run away.
+:class:`ResilientExecutor` wraps any :class:`~repro.parallel.Executor` and
+adds, without changing the ``map``/``starmap`` contract (results always come
+back complete and in input order, or an exception is raised):
+
+* **Retries** — a :class:`RetryPolicy` with exponential backoff and
+  deterministic jitter (seeded via :mod:`repro.util.rng`, so reruns sleep
+  identically) re-runs tasks that raise transient exceptions.
+* **Timeouts** — a per-task wall-clock budget, enforced on the process
+  backend by killing the hung workers and rebuilding the pool; tasks that
+  were in flight on innocent workers are resubmitted without consuming
+  retry budget.
+* **Checkpointing** — a :class:`CheckpointJournal` (append-only JSONL keyed
+  by a stable task fingerprint) records every completed task; a resumed
+  sweep skips work already journaled and returns bit-identical results.
+* **Graceful degradation** — on ``BrokenProcessPool`` (a worker died
+  mid-task) the pool is rebuilt up to ``max_pool_rebuilds`` times, then the
+  remaining work falls back to in-process serial execution; every downgrade
+  is recorded in :attr:`ResilientExecutor.events`.
+* **Fault injection** — a seeded :class:`FaultInjector` can probabilistically
+  (or at chosen task indices) raise exceptions, inject delays, or hard-crash
+  pool workers, for chaos testing the layers above.
+
+Permanent failures never vanish silently: ``map`` finishes the rest of the
+sweep (maximizing checkpointed progress) and then raises
+:class:`~repro.errors.SweepAborted` carrying the partial results and
+per-task :class:`~repro.errors.TaskFailure` records.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import (
+    CheckpointError,
+    InjectedFault,
+    SweepAborted,
+    TaskFailure,
+    TaskTimeout,
+)
+from repro.parallel.executor import Executor, ProcessExecutor, SerialExecutor
+from repro.util.rng import stream_seed
+
+__all__ = [
+    "RetryPolicy",
+    "CheckpointJournal",
+    "FaultInjector",
+    "ResilientExecutor",
+    "task_fingerprint",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def task_fingerprint(fn: Callable, index: int, item: Any) -> str:
+    """Stable identity of one task: function name + position + payload.
+
+    Hashes the pickled payload, so any picklable item works; including the
+    index keeps duplicate payloads distinct (one journal entry per slot).
+    """
+    name = getattr(fn, "__qualname__", None) or type(fn).__qualname__
+    h = hashlib.sha256()
+    h.update(name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(str(index).encode("ascii"))
+    h.update(b"\x00")
+    h.update(pickle.dumps(item, protocol=4))
+    return h.hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how fast to re-run a failed task.
+
+    ``delay`` is a pure function of ``(attempt, seed)`` — jitter comes from a
+    stream seeded by the task fingerprint, so two runs of the same sweep back
+    off identically.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05       # seconds before the 2nd attempt
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.5              # +/- fraction of the delay randomized
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("backoff_base must be >= 0 and jitter in [0, 1]")
+
+    def should_retry(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, attempt: int, seed: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (deterministic in seed)."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+            self.backoff_max,
+        )
+        if base <= 0.0 or self.jitter == 0.0:
+            return base
+        u = np.random.default_rng(stream_seed(seed, "backoff", attempt)).random()
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed tasks.
+
+    One line per task: ``{"fp": <fingerprint>, "v": <base64 pickle>}``.
+    Values round-trip through pickle, so resumed results are bit-identical
+    to freshly computed ones. Each record is flushed and fsynced, so a crash
+    loses at most the task in flight; a truncated final line (the crash
+    artifact) is tolerated on load, any earlier corruption raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False) -> None:
+        self.path = Path(path)
+        self._completed: dict[str, Any] = {}
+        if resume:
+            self._completed = self._load()
+        elif self.path.exists():
+            self.path.unlink()
+        self._fh = None
+
+    def _load(self) -> dict[str, Any]:
+        if not self.path.exists():
+            return {}
+        completed: dict[str, Any] = {}
+        lines = self.path.read_text().splitlines()
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                completed[rec["fp"]] = pickle.loads(base64.b64decode(rec["v"]))
+            except Exception as exc:
+                if lineno == len(lines) - 1:
+                    break  # torn final write from a crash mid-record
+                raise CheckpointError(
+                    f"corrupt checkpoint journal {self.path} at line {lineno + 1}: {exc}"
+                ) from exc
+        return completed
+
+    @property
+    def n_completed(self) -> int:
+        return len(self._completed)
+
+    def completed(self) -> dict[str, Any]:
+        """Fingerprint -> result for every journaled task."""
+        return dict(self._completed)
+
+    def record(self, fingerprint: str, value: Any) -> None:
+        if fingerprint in self._completed:
+            return
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        payload = base64.b64encode(pickle.dumps(value, protocol=4)).decode("ascii")
+        self._fh.write(json.dumps({"fp": fingerprint, "v": payload}) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._completed[fingerprint] = value
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CheckpointJournal({str(self.path)!r}, n_completed={self.n_completed})"
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Seeded chaos: inject exceptions, delays, or worker crashes into tasks.
+
+    Decisions are a pure function of ``(seed, task index, attempt)``, so a
+    chaos run is exactly reproducible and a fault injected on attempt 1 can
+    clear on attempt 2 (modeling transient failures). Crash injection calls
+    ``os._exit`` — but only inside a pool worker process; in the driver
+    process (serial execution or serial fallback) it is a no-op, so a sweep
+    that degrades to serial always completes.
+
+    The injector is picklable and crosses the process boundary with the task.
+    """
+
+    seed: int = 0
+    p_exception: float = 0.0
+    p_delay: float = 0.0
+    p_crash: float = 0.0
+    delay_seconds: float = 0.05
+    fail_once_indices: tuple[int, ...] = ()  # InjectedFault on attempt 1 only
+    fail_indices: tuple[int, ...] = ()       # InjectedFault on every attempt
+    crash_indices: tuple[int, ...] = ()      # os._exit on every (worker) attempt
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultInjector":
+        """Build from a CLI spec like ``"exc=0.1,delay=0.05,crash=0.01"``."""
+        keys = {"exc": "p_exception", "delay": "p_delay", "crash": "p_crash",
+                "delay-seconds": "delay_seconds", "seed": "seed"}
+        kwargs: dict[str, Any] = {"seed": seed}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            key, _, value = part.partition("=")
+            if key not in keys or not value:
+                raise ValueError(
+                    f"bad chaos spec {part!r}; expected key=value with key in {sorted(keys)}"
+                )
+            kwargs[keys[key]] = int(value) if key == "seed" else float(value)
+        return cls(**kwargs)
+
+    def fire(self, index: int, attempt: int) -> None:
+        """Maybe inject a fault for this (task, attempt). Called in-task."""
+        if index in self.crash_indices:
+            self._crash()
+        if index in self.fail_indices or (
+            attempt == 1 and index in self.fail_once_indices
+        ):
+            raise InjectedFault(f"injected fault at task {index} (attempt {attempt})")
+        if not (self.p_exception or self.p_delay or self.p_crash):
+            return
+        u = np.random.default_rng(
+            stream_seed(self.seed, "inject", index, attempt)
+        ).random()
+        if u < self.p_crash:
+            self._crash()
+        elif u < self.p_crash + self.p_exception:
+            raise InjectedFault(
+                f"injected fault at task {index} (attempt {attempt})"
+            )
+        elif u < self.p_crash + self.p_exception + self.p_delay:
+            time.sleep(self.delay_seconds)
+
+    @staticmethod
+    def _crash() -> None:
+        # Only kill pool workers; crashing the driver would take the journal
+        # writer (and the test process) down with it.
+        if multiprocessing.parent_process() is not None:
+            os._exit(17)
+
+
+class _TaskCall:
+    """Picklable wrapper running the injector before the task function."""
+
+    def __init__(self, fn: Callable[[Any], Any], injector: FaultInjector | None) -> None:
+        self.fn = fn
+        self.injector = injector
+
+    def __call__(self, packed: tuple[int, int, Any]) -> Any:
+        index, attempt, item = packed
+        if self.injector is not None:
+            self.injector.fire(index, attempt)
+        return self.fn(item)
+
+
+@dataclass
+class _Pending:
+    """One schedulable task attempt."""
+
+    index: int
+    attempt: int = 1
+    not_before: float = 0.0  # monotonic time gate for backoff
+
+
+class ResilientExecutor(Executor):
+    """Wrap any executor with retries, timeouts, checkpointing, degradation.
+
+    Parameters
+    ----------
+    inner:
+        The backend doing the actual work (default: ``SerialExecutor``).
+        Timeouts and crash recovery need a ``ProcessExecutor``; a serial
+        backend still gets retries, checkpointing, and fault injection
+        (a running in-process task cannot be interrupted, so timeouts are
+        not enforced serially).
+    retry:
+        Retry policy for transient task exceptions.
+    task_timeout:
+        Per-task wall-clock budget in seconds, measured from dispatch.
+    journal:
+        Checkpoint journal (or a path, opened fresh). Pass a
+        ``CheckpointJournal(path, resume=True)`` to skip completed tasks.
+    injector:
+        Optional chaos harness applied to every task attempt.
+    max_pool_rebuilds:
+        How many ``BrokenProcessPool`` events to absorb by rebuilding the
+        pool before degrading to serial execution.
+    fall_back_to_serial:
+        Whether to finish remaining work in-process once the rebuild budget
+        is spent. When False, un-run tasks are recorded as crash failures.
+    """
+
+    def __init__(
+        self,
+        inner: Executor | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        task_timeout: float | None = None,
+        journal: CheckpointJournal | str | Path | None = None,
+        injector: FaultInjector | None = None,
+        max_pool_rebuilds: int = 1,
+        fall_back_to_serial: bool = True,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        self.inner = inner if inner is not None else SerialExecutor()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.task_timeout = task_timeout
+        if isinstance(journal, (str, Path)):
+            journal = CheckpointJournal(journal)
+        self.journal = journal
+        self.injector = injector
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.fall_back_to_serial = fall_back_to_serial
+        self.seed = seed
+        self._sleep = sleep
+        #: Operational log: "pool-rebuild", "serial-downgrade",
+        #: "timeout-reset", "retry:<index>:<attempt>", "restored:<n>".
+        self.events: list[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        n = len(items)
+        if n == 0:
+            return []
+        fps = [task_fingerprint(fn, i, item) for i, item in enumerate(items)]
+        results: list[Any] = [None] * n
+        done = [False] * n
+
+        if self.journal is not None:
+            completed = self.journal.completed()
+            n_restored = 0
+            for i, fp in enumerate(fps):
+                if fp in completed:
+                    results[i] = completed[fp]
+                    done[i] = True
+                    n_restored += 1
+            if n_restored:
+                self.events.append(f"restored:{n_restored}")
+
+        pending = deque(_Pending(i) for i in range(n) if not done[i])
+        failures: list[TaskFailure] = []
+        if pending:
+            wrapped = _TaskCall(fn, self.injector)
+            if isinstance(self.inner, ProcessExecutor):
+                self._run_pool(wrapped, items, fps, pending, results, failures)
+            else:
+                self._run_serial(wrapped, items, fps, pending, results, failures)
+
+        if failures:
+            failures.sort(key=lambda f: f.index)
+            raise SweepAborted(n, results, failures, checkpointed=self.journal is not None)
+        return results
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ResilientExecutor({self.inner!r}, retry={self.retry!r}, "
+            f"task_timeout={self.task_timeout})"
+        )
+
+    # -- shared bookkeeping ------------------------------------------------
+
+    def _complete(self, index: int, fp: str, value: Any, results: list[Any]) -> None:
+        results[index] = value
+        if self.journal is not None:
+            self.journal.record(fp, value)
+
+    def _on_error(
+        self,
+        task: _Pending,
+        exc: BaseException,
+        fps: list[str],
+        pending: deque,
+        failures: list[TaskFailure],
+    ) -> None:
+        """Requeue with backoff if retryable, else record a permanent failure."""
+        if task.attempt < self.retry.max_attempts and self.retry.should_retry(exc):
+            delay = self.retry.delay(task.attempt, stream_seed(self.seed, fps[task.index]))
+            self.events.append(f"retry:{task.index}:{task.attempt}")
+            pending.append(
+                _Pending(task.index, task.attempt + 1, time.monotonic() + delay)
+            )
+            return
+        kind = "timeout" if isinstance(exc, TaskTimeout) else "exception"
+        failures.append(TaskFailure(
+            index=task.index,
+            fingerprint=fps[task.index],
+            attempts=task.attempt,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            kind=kind,
+        ))
+
+    # -- serial backend ----------------------------------------------------
+
+    def _run_serial(
+        self,
+        wrapped: _TaskCall,
+        items: list[Any],
+        fps: list[str],
+        pending: deque,
+        results: list[Any],
+        failures: list[TaskFailure],
+    ) -> None:
+        while pending:
+            task = pending.popleft()
+            gap = task.not_before - time.monotonic()
+            if gap > 0:
+                self._sleep(gap)
+            try:
+                value = wrapped((task.index, task.attempt, items[task.index]))
+            except Exception as exc:
+                self._on_error(task, exc, fps, pending, failures)
+            else:
+                self._complete(task.index, fps[task.index], value, results)
+
+    # -- process-pool backend ----------------------------------------------
+
+    def _run_pool(
+        self,
+        wrapped: _TaskCall,
+        items: list[Any],
+        fps: list[str],
+        pending: deque,
+        results: list[Any],
+        failures: list[TaskFailure],
+    ) -> None:
+        pool: ProcessExecutor = self.inner  # type: ignore[assignment]
+        rebuilds_left = self.max_pool_rebuilds
+        # Window = pool width: every submitted task starts immediately, so
+        # the per-task timeout clock (started at submit) is fair.
+        window = max(1, pool.max_workers)
+        inflight: dict[Any, tuple[_Pending, float]] = {}
+
+        def requeue_inflight() -> None:
+            # Tasks lost to a pool death/reset were not at fault: resubmit
+            # them at the same attempt number (no retry budget consumed).
+            for lost, _ in inflight.values():
+                pending.appendleft(_Pending(lost.index, lost.attempt))
+            inflight.clear()
+
+        while pending or inflight:
+            now = time.monotonic()
+            # 1) Fill the dispatch window with due tasks.
+            broken = False
+            for _ in range(len(pending)):
+                if len(inflight) >= window:
+                    break
+                task = pending.popleft()
+                if task.not_before > now:
+                    pending.append(task)
+                    continue
+                try:
+                    fut = pool.submit(
+                        wrapped, (task.index, task.attempt, items[task.index])
+                    )
+                except BrokenProcessPool:
+                    pending.appendleft(task)
+                    broken = True
+                    break
+                inflight[fut] = (task, time.monotonic())
+
+            if not broken and not inflight:
+                # Everything pending is gated behind a backoff delay.
+                next_due = min(t.not_before for t in pending)
+                self._sleep(max(0.0, next_due - time.monotonic()))
+                continue
+
+            # 2) Wait for completions (bounded so timeouts/backoffs wake us).
+            if not broken:
+                wait_timeout = None
+                if self.task_timeout is not None or any(
+                    t.not_before > 0 for t in pending
+                ):
+                    wait_timeout = 0.05
+                done, _ = _futures_wait(
+                    inflight, timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                for fut in done:
+                    task, _started = inflight.pop(fut)
+                    try:
+                        value = fut.result()
+                    except BrokenProcessPool:
+                        pending.appendleft(_Pending(task.index, task.attempt))
+                        broken = True
+                    except Exception as exc:
+                        self._on_error(task, exc, fps, pending, failures)
+                    else:
+                        self._complete(task.index, fps[task.index], value, results)
+
+            # 3) Pool death: rebuild, degrade to serial, or give up.
+            if broken:
+                requeue_inflight()
+                if rebuilds_left > 0:
+                    rebuilds_left -= 1
+                    pool.reset(kill=True)
+                    self.events.append("pool-rebuild")
+                    continue
+                if self.fall_back_to_serial:
+                    self.events.append("serial-downgrade")
+                    ordered = deque(sorted(pending, key=lambda t: t.index))
+                    pending.clear()
+                    self._run_serial(wrapped, items, fps, ordered, results, failures)
+                    return
+                for task in sorted(pending, key=lambda t: t.index):
+                    failures.append(TaskFailure(
+                        index=task.index,
+                        fingerprint=fps[task.index],
+                        attempts=task.attempt,
+                        error_type="BrokenProcessPool",
+                        message="worker process died and pool rebuild budget is spent",
+                        kind="crash",
+                    ))
+                pending.clear()
+                return
+
+            # 4) Enforce per-task timeouts; kill the pool to reclaim hung
+            #    workers (deliberate reset — does not spend rebuild budget).
+            if self.task_timeout is not None:
+                now = time.monotonic()
+                timed_out = [
+                    fut for fut, (_t, started) in inflight.items()
+                    if now - started > self.task_timeout
+                ]
+                if timed_out:
+                    for fut in timed_out:
+                        task, started = inflight.pop(fut)
+                        exc = TaskTimeout(
+                            f"task {task.index} exceeded {self.task_timeout:g}s "
+                            f"wall-clock budget (attempt {task.attempt})"
+                        )
+                        self._on_error(task, exc, fps, pending, failures)
+                    requeue_inflight()
+                    pool.reset(kill=True)
+                    self.events.append("timeout-reset")

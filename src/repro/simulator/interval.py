@@ -214,15 +214,24 @@ def sweep_design_space(
     profile: WorkloadProfile,
     n_instructions: int = 100_000_000,
     executor=None,
+    parallel: bool | None = None,
 ) -> np.ndarray:
     """Cycle counts for every configuration (optionally on an executor).
 
     The per-config evaluation is microseconds thanks to geometry
     memoization, so the default is serial; pass a
     :class:`repro.parallel.Executor` to fan out anyway (used by the
-    parallel-scaling ablation benchmark).
+    parallel-scaling ablation benchmark and the CLI's fault-tolerant
+    sweeps). With ``parallel`` set instead, the sweep creates a
+    :func:`repro.parallel.default_executor` and always closes it (no
+    leaked process pools).
     """
     tasks = [(c, profile, n_instructions) for c in configs]
-    if executor is None:
-        return np.array([_eval_cycles(t) for t in tasks])
-    return np.array(executor.map(_eval_cycles, tasks))
+    if executor is not None:
+        return np.array(executor.map(_eval_cycles, tasks))
+    if parallel is not None:
+        from repro.parallel.executor import default_executor
+
+        with default_executor(len(tasks), parallel) as ex:
+            return np.array(ex.map(_eval_cycles, tasks))
+    return np.array([_eval_cycles(t) for t in tasks])

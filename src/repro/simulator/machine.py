@@ -17,7 +17,7 @@ from repro.simulator.branch import make_predictor, simulate_predictor
 from repro.simulator.cache import Cache, MultiLevelCache
 from repro.simulator.config import MicroarchConfig
 from repro.simulator.interval import DEFAULT_LATENCIES, Latencies, evaluate_config
-from repro.simulator.isa import OpClass, Trace
+from repro.simulator.isa import Trace
 from repro.simulator.pipeline import simulate_pipeline
 from repro.simulator.tlb import Tlb
 from repro.simulator.workloads import WorkloadProfile

@@ -33,7 +33,7 @@ gcc 5.27/0.33, mesa 2.22/0.19, mcf 6.38/0.71).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 __all__ = [

@@ -18,8 +18,8 @@ chronology.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 __all__ = ["YearTech", "ProcessorFamily", "FAMILIES", "get_family", "FAMILY_ORDER"]
 

@@ -1,7 +1,6 @@
 """Tests for degree-2 feature expansion and interaction-augmented LR."""
 
 import numpy as np
-import pytest
 
 from repro.ml.dataset import Column, ColumnRole, Dataset
 from repro.ml.linear.features import degree2_feature_names, expand_degree2

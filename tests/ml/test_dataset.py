@@ -40,6 +40,20 @@ class TestColumn:
         with pytest.raises(ValueError):
             Column("x", ColumnRole.NUMERIC, np.array([1.0, np.nan]))
 
+    def test_nonfinite_error_names_field_count_and_record(self):
+        with pytest.raises(ValueError, match=r"'cache'.*2 non-finite.*record 1"):
+            Column("cache", ColumnRole.NUMERIC,
+                   np.array([1.0, np.nan, np.inf, 4.0]))
+
+    def test_rejects_nan_flag(self):
+        # astype(bool) would silently turn NaN into True — must fail fast.
+        with pytest.raises(ValueError, match="flag column 'f'"):
+            Column("f", ColumnRole.FLAG, np.array([1.0, np.nan]))
+
+    def test_integer_and_bool_flags_still_fine(self):
+        assert Column("f", ColumnRole.FLAG, np.array([0, 1])).values.dtype == bool
+        assert Column("f", ColumnRole.FLAG, np.array([True, False])).values[0]
+
     def test_is_constant(self):
         assert Column("x", ColumnRole.NUMERIC, np.array([2.0, 2.0])).is_constant
         assert not Column("x", ColumnRole.NUMERIC, np.array([1.0, 2.0])).is_constant
@@ -71,6 +85,11 @@ class TestDataset:
         c = Column("x", ColumnRole.NUMERIC, np.array([1.0]))
         with pytest.raises(ValueError):
             Dataset([c], np.array([np.inf]))
+
+    def test_nonfinite_target_error_names_target(self):
+        c = Column("x", ColumnRole.NUMERIC, np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match=r"target 'cycles'.*record 1"):
+            Dataset([c], np.array([1.0, np.nan]), target_name="cycles")
 
     def test_column_lookup_error_lists_names(self):
         with pytest.raises(KeyError, match="num"):

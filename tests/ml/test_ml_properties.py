@@ -1,7 +1,6 @@
 """Property-based tests over the modeling layer (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ml.dataset import Column, ColumnRole, Dataset

@@ -1,6 +1,5 @@
 """Tests for the complete machine (detailed and interval modes)."""
 
-import numpy as np
 import pytest
 
 from repro.simulator.config import enumerate_design_space

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.simulator.config import enumerate_design_space
 from repro.simulator.machine import simulate_detailed
 from repro.simulator.simpoint import (
     basic_block_vectors,

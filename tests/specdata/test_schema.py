@@ -1,6 +1,5 @@
 """Tests for the 32-parameter announcement schema."""
 
-import numpy as np
 import pytest
 
 from repro.ml.dataset import ColumnRole

@@ -27,6 +27,31 @@ class TestParser:
         assert args.train_year == 2005 and args.test_year == 2006
         assert len(args.models) == 9
 
+    def test_resilience_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "mcf", "--parallel", "--retries", "2",
+             "--task-timeout", "30", "--checkpoint", "j.jsonl", "--resume"])
+        assert args.parallel and args.retries == 2
+        assert args.task_timeout == 30.0
+        assert args.checkpoint == "j.jsonl" and args.resume
+
+    def test_resilience_defaults_off(self):
+        args = build_parser().parse_args(["sampled-dse", "gcc"])
+        assert not args.parallel and args.retries == 0
+        assert args.task_timeout is None and args.checkpoint is None
+
+    def test_resume_requires_checkpoint(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["sweep", "mcf", "--resume"])
+        assert ei.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["sweep", "mcf", "--retries", "-1", "--chaos", "exc=0.0"])
+        assert ei.value.code == 2
+        assert "--retries must be >= 0" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_sweep_runs(self, capsys):
@@ -61,3 +86,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "standardized beta" in out
         assert "sensitivity importance" in out
+
+
+class TestFaultTolerance:
+    """The resilience flags and the exit-code / stderr contract."""
+
+    def test_sweep_with_checkpoint_writes_journal(self, tmp_path, capsys):
+        path = tmp_path / "sweep.jsonl"
+        rc = main(["sweep", "applu", "--checkpoint", str(path)])
+        assert rc == 0
+        assert path.exists() and path.stat().st_size > 0
+        assert "4608 configurations" in capsys.readouterr().out
+
+    def test_sweep_resume_reuses_journal(self, tmp_path, capsys):
+        path = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "applu", "--checkpoint", str(path)]) == 0
+        first = capsys.readouterr().out
+        size = path.stat().st_size
+        assert main(["sweep", "applu", "--checkpoint", str(path), "--resume"]) == 0
+        assert capsys.readouterr().out == first  # identical report
+        assert path.stat().st_size == size       # nothing re-journaled
+
+    def test_chaos_abort_maps_to_exit_code_and_one_line_stderr(self, capsys):
+        from repro.errors import SweepAborted
+
+        rc = main(["sweep", "applu", "--chaos", "exc=1.0"])
+        assert rc == SweepAborted.exit_code
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: sweep aborted")
+        assert len(err.strip().splitlines()) == 1  # no traceback
+        assert "Traceback" not in err
+
+    def test_chaos_survived_with_retries(self, capsys):
+        # Deterministic (seeded) chaos: transient faults clear on retry.
+        rc = main(["sampled-dse", "applu", "--rates", "0.01",
+                   "--models", "LR-B", "--cv-reps", "2",
+                   "--chaos", "exc=0.3", "--retries", "5"])
+        assert rc == 0
+        assert "Model Error - applu" in capsys.readouterr().out
+
+    def test_chaos_output_matches_fault_free_run(self, capsys):
+        argv = ["sampled-dse", "applu", "--rates", "0.01",
+                "--models", "LR-B", "--cv-reps", "2"]
+        assert main(argv) == 0
+        clean = capsys.readouterr().out
+        assert main(argv + ["--chaos", "exc=0.3", "--retries", "5"]) == 0
+        assert capsys.readouterr().out == clean  # faults never change numbers
+
+    def test_bad_chaos_spec_is_clean_error(self, capsys):
+        rc = main(["sweep", "applu", "--chaos", "explode=1"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "Traceback" not in err

@@ -1,0 +1,51 @@
+"""Tests for the shared exception taxonomy."""
+
+import pytest
+
+from repro.errors import (
+    CheckpointError,
+    InjectedFault,
+    ReproError,
+    SweepAborted,
+    TaskFailed,
+    TaskFailure,
+    TaskTimeout,
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(TaskFailed, ReproError)
+        assert issubclass(TaskTimeout, TaskFailed)
+        assert issubclass(SweepAborted, ReproError)
+        assert issubclass(CheckpointError, ReproError)
+        # Injected faults model arbitrary task errors, not harness errors.
+        assert not issubclass(InjectedFault, ReproError)
+
+    def test_exit_codes_distinct_and_nonzero(self):
+        codes = [TaskFailed.exit_code, TaskTimeout.exit_code,
+                 SweepAborted.exit_code, CheckpointError.exit_code]
+        assert len(set(codes)) == len(codes)
+        assert all(c not in (0, 1, 2) for c in codes)  # 2 is argparse's
+
+    def test_task_failure_summary(self):
+        f = TaskFailure(index=7, fingerprint="ab12", attempts=3,
+                        error_type="ValueError", message="boom", kind="exception")
+        s = f.summary()
+        assert "task 7" in s and "3 attempt(s)" in s and "ValueError: boom" in s
+
+    def test_sweep_aborted_carries_partials(self):
+        failures = [TaskFailure(1, "fp", 2, "RuntimeError", "x", "crash")]
+        exc = SweepAborted(3, [10, None, 30], failures, checkpointed=True)
+        assert exc.n_completed == 2
+        assert exc.partial_results == [10, None, 30]
+        msg = str(exc)
+        assert "1/3 tasks failed" in msg and "resume" in msg
+        assert "\n" not in msg  # one-line, CLI-ready
+
+    def test_task_failed_carries_failure_record(self):
+        f = TaskFailure(0, "fp", 1, "OSError", "gone", "exception")
+        exc = TaskFailed("task 0 failed", failure=f)
+        assert exc.failure is f
+        with pytest.raises(TaskFailed):
+            raise exc
