@@ -17,12 +17,12 @@ Public API layers:
 * :mod:`repro.core` — the paper's two workflows: sampled design-space
   exploration (Figures 2-6, Table 3) and chronological prediction
   (Figures 7-8, Table 2).
-* :mod:`repro.parallel`, :mod:`repro.util` — execution and support
-  substrates.
+* :mod:`repro.parallel`, :mod:`repro.cache`, :mod:`repro.util` — execution,
+  result-caching, and support substrates.
 """
 
-from repro import core, ml, parallel, simulator, specdata, util
+from repro import cache, core, ml, parallel, simulator, specdata, util
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "ml", "parallel", "simulator", "specdata", "util", "__version__"]
+__all__ = ["cache", "core", "ml", "parallel", "simulator", "specdata", "util", "__version__"]

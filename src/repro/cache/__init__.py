@@ -1,0 +1,37 @@
+"""Content-addressed result caching.
+
+Expensive, deterministic artifacts — full design-space cycle sweeps,
+preprocessed design matrices — are keyed by a stable fingerprint of their
+complete inputs (including a code-version digest) and served from an
+in-memory LRU backed by an optional on-disk store. See
+:mod:`repro.cache.result_cache` for the orchestration layer,
+:mod:`repro.cache.fingerprint` for key construction, and
+:mod:`repro.cache.memory` / :mod:`repro.cache.disk` for the two layers.
+"""
+
+from repro.cache.disk import DiskStore
+from repro.cache.fingerprint import code_version, stable_fingerprint
+from repro.cache.memory import LRUCache
+from repro.cache.result_cache import (
+    CacheStats,
+    ResultCache,
+    configure,
+    default_cache,
+    is_enabled,
+    reset_default_cache,
+    set_enabled,
+)
+
+__all__ = [
+    "CacheStats",
+    "DiskStore",
+    "LRUCache",
+    "ResultCache",
+    "code_version",
+    "configure",
+    "default_cache",
+    "is_enabled",
+    "reset_default_cache",
+    "set_enabled",
+    "stable_fingerprint",
+]

@@ -1,0 +1,116 @@
+"""On-disk layer of the result cache.
+
+Entries live at ``<root>/<key[:2]>/<key>.pkl`` (fan-out subdirectories keep
+any single directory small). Each file is a small header — magic, payload
+SHA-256 checksum — followed by the pickled value, so a truncated or
+bit-rotted file is *detected* and treated as a miss (and deleted) rather
+than deserialized into garbage or a crash. Writes go through a temp file in
+the same directory plus :func:`os.replace`, so readers never observe a
+half-written entry and concurrent writers of the same key are safe (last
+writer wins with identical content).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["DiskStore"]
+
+_MAGIC = b"RPRC1\n"
+_MISS = object()
+
+
+class DiskStore:
+    """Content-checksummed pickle files under a root directory."""
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Load ``key`` if present and intact; corrupt entries are deleted."""
+        value = self._read(self._path(key))
+        if value is _MISS:
+            self.misses += 1
+            return default
+        self.hits += 1
+        return value
+
+    def _read(self, path: Path) -> Any:
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return _MISS
+        header_len = len(_MAGIC) + 64
+        if raw[: len(_MAGIC)] != _MAGIC or len(raw) < header_len:
+            self._discard(path)
+            return _MISS
+        checksum = raw[len(_MAGIC):header_len]
+        payload = raw[header_len:]
+        if hashlib.sha256(payload).hexdigest().encode() != checksum:
+            self._discard(path)
+            return _MISS
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            self._discard(path)
+            return _MISS
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone / read-only store
+            pass
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically persist ``value``; I/O failure degrades to not-cached."""
+        path = self._path(key)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode() + payload
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:  # pragma: no cover - disk full / permission denied
+            pass
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for sub in sorted(self.root.iterdir()):
+            if sub.is_dir():
+                yield from sorted(sub.glob("*.pkl"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def size_bytes(self) -> int:
+        """Total bytes currently stored (0 for an empty or absent root)."""
+        return sum(p.stat().st_size for p in self._entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        n = 0
+        for path in list(self._entries()):
+            self._discard(path)
+            n += 1
+        return n

@@ -1,0 +1,137 @@
+"""Stable content fingerprints for cache keys.
+
+A cache entry must be addressed by *what was computed*, not *where or when*:
+the same (design-space block, workload profile, instruction budget, code
+version) must hash to the same key in every process, on every platform, in
+every run — and any change to one of those inputs must change the key.
+``pickle`` output is not guaranteed stable across interpreter versions and
+``hash()`` is salted per process, so neither can be the key. Instead
+:func:`stable_fingerprint` feeds a SHA-256 hasher a canonical, type-tagged
+serialization of the value tree.
+
+Supported value shapes — the closure of everything the repo caches:
+
+* ``None``, ``bool``, ``int``, ``str``, ``bytes`` — tagged primitives;
+* ``float`` — tagged IEEE-754 big-endian bytes (``0.0``/``-0.0`` distinct,
+  NaN canonicalized to the quiet NaN bit pattern);
+* ``numpy.ndarray`` — dtype string, shape, and C-contiguous raw bytes;
+* dataclasses — class qualname plus each field, in field order;
+* mappings — size plus entries sorted by the fingerprint of each key;
+* sequences (list/tuple) — length plus each element.
+
+:func:`code_version` fingerprints the simulator's source text plus the
+package version, so cached cycles are invalidated the moment the model that
+produced them changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from functools import lru_cache
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["stable_fingerprint", "code_version"]
+
+_QNAN = struct.pack(">d", float("nan"))
+
+
+def _update(h: "hashlib._Hash", obj: Any) -> None:
+    """Feed one value into the hasher with an unambiguous type tag."""
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        raw = obj.to_bytes((obj.bit_length() + 8) // 8 or 1, "big", signed=True)
+        h.update(b"I" + len(raw).to_bytes(4, "big") + raw)
+    elif isinstance(obj, float):
+        h.update(b"F")
+        h.update(_QNAN if obj != obj else struct.pack(">d", obj))
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        h.update(b"S" + len(raw).to_bytes(8, "big") + raw)
+    elif isinstance(obj, bytes):
+        h.update(b"Y" + len(obj).to_bytes(8, "big") + obj)
+    elif isinstance(obj, np.ndarray):
+        if obj.dtype == object:
+            raise TypeError(
+                "cannot fingerprint an object-dtype array (its bytes are "
+                "pointers); convert to a list of supported values first"
+            )
+        arr = np.ascontiguousarray(obj)
+        h.update(b"A")
+        _update(h, str(arr.dtype))
+        _update(h, tuple(int(d) for d in arr.shape))
+        h.update(arr.tobytes())
+    elif isinstance(obj, np.generic):  # numpy scalar: canonicalize to Python
+        _update(h, obj.item())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"D")
+        _update(h, type(obj).__qualname__)
+        for f in dataclasses.fields(obj):
+            _update(h, f.name)
+            _update(h, getattr(obj, f.name))
+    elif isinstance(obj, dict):
+        h.update(b"M" + len(obj).to_bytes(8, "big"))
+        entries = sorted(
+            ((stable_fingerprint(k), k, v) for k, v in obj.items()),
+            key=lambda kv: kv[0],
+        )
+        for _, k, v in entries:
+            _update(h, k)
+            _update(h, v)
+    elif isinstance(obj, (list, tuple)):
+        h.update(b"L" + len(obj).to_bytes(8, "big"))
+        for item in obj:
+            _update(h, item)
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__qualname__!r}; supported: None, "
+            "bool/int/float/str/bytes, numpy arrays and scalars, dataclasses, "
+            "mappings, and list/tuple sequences"
+        )
+
+
+def stable_fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of a canonical serialization of ``obj``.
+
+    Equal values produce equal digests in every process and on every
+    platform; structurally different values (including the same numbers at
+    different types) produce different digests.
+    """
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.hexdigest()
+
+
+def _iter_source_bytes() -> Iterable[bytes]:
+    """Source text of every module whose edits must invalidate cached cycles."""
+    import repro
+    from repro.simulator import analytic, batch, config, interval, workloads
+
+    yield repro.__version__.encode()
+    for mod in (interval, analytic, batch, config, workloads):
+        try:
+            with open(mod.__file__, "rb") as fh:
+                yield fh.read()
+        except OSError:  # pragma: no cover - zipapp / frozen install
+            yield mod.__name__.encode()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the simulator implementation (sources + package version).
+
+    Any edit to the interval model, analytic kernels, batch kernels, design
+    space, or workload profiles yields a new version string, so stale disk
+    entries from older code can never be returned as current results.
+    """
+    h = hashlib.sha256()
+    for chunk in _iter_source_bytes():
+        h.update(len(chunk).to_bytes(8, "big"))
+        h.update(chunk)
+    return h.hexdigest()

@@ -1,0 +1,185 @@
+"""Content-addressed result cache: in-memory LRU over an optional disk store.
+
+:class:`ResultCache` fronts any expensive, deterministic computation. The
+caller describes *what* is being computed as a tuple of key parts (which must
+include a code-version component when the computation's implementation can
+change); :meth:`ResultCache.get_or_compute` fingerprints the parts, probes
+the memory layer, then the disk layer, and only then runs the compute
+function — promoting disk hits into memory and persisting fresh results to
+disk. Every probe appends a ``"hit:…"``/``"miss:…"``/eviction event to
+:attr:`ResultCache.events`, mirroring the ``ResilientExecutor.events``
+convention, so tests and the perf harness can assert on cache behaviour
+without reaching into internals.
+
+The module-level :func:`default_cache` is the process-wide instance the
+simulator and encoder use when asked to cache: memory-only by default, with
+a disk layer underneath when ``REPRO_CACHE_DIR`` is set (or a directory is
+passed to :func:`configure`). :func:`set_enabled` globally short-circuits
+every ``get_or_compute`` into a plain compute, which is what the CLI's
+``--no-cache`` flag toggles for reproducibility audits.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.cache.disk import DiskStore
+from repro.cache.fingerprint import stable_fingerprint
+from repro.cache.memory import LRUCache
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "configure",
+    "default_cache",
+    "is_enabled",
+    "reset_default_cache",
+    "set_enabled",
+]
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot across both layers at one instant."""
+
+    memory_hits: int
+    memory_misses: int
+    memory_evictions: int
+    memory_entries: int
+    disk_hits: int
+    disk_misses: int
+    disk_entries: int
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def misses(self) -> int:
+        """Full misses: probes that fell through both layers to a compute."""
+        return self.memory_misses - self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        d = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        d.update(hits=self.hits, misses=self.misses, hit_rate=self.hit_rate)
+        return d
+
+
+class ResultCache:
+    """Two-layer (memory, optional disk) content-addressed cache."""
+
+    def __init__(self, max_entries: int = 128,
+                 disk_root: str | os.PathLike[str] | None = None) -> None:
+        self.memory = LRUCache(max_entries=max_entries)
+        self.disk = DiskStore(disk_root) if disk_root is not None else None
+        self.enabled = True
+        self.events: list[str] = []
+
+    def key_for(self, key_parts: Any) -> str:
+        """Fingerprint of the key parts; exposed for tests and diagnostics."""
+        return stable_fingerprint(key_parts)
+
+    def get_or_compute(self, key_parts: Any, compute: Callable[[], Any],
+                       kind: str = "result") -> Any:
+        """Return the cached value for ``key_parts``, computing on first use.
+
+        ``kind`` is a short label (``"sweep-cycles"``, ``"design-matrix"``)
+        used only in events and nothing else — the key is entirely determined
+        by ``key_parts``.
+        """
+        if not (self.enabled and _GLOBAL_ENABLED):
+            return compute()
+        key = self.key_for(key_parts)
+        before = self.memory.evictions
+        value = self.memory.get(key, _MISS)
+        if value is not _MISS:
+            self.events.append(f"hit:memory:{kind}")
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key, _MISS)
+            if value is not _MISS:
+                self.events.append(f"hit:disk:{kind}")
+                self.memory.put(key, value)
+                self._note_evictions(before)
+                return value
+        self.events.append(f"miss:{kind}")
+        value = compute()
+        self.memory.put(key, value)
+        if self.disk is not None:
+            self.disk.put(key, value)
+        self._note_evictions(before)
+        return value
+
+    def _note_evictions(self, before: int) -> None:
+        for _ in range(self.memory.evictions - before):
+            self.events.append("evict:memory")
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            memory_hits=self.memory.hits,
+            memory_misses=self.memory.misses,
+            memory_evictions=self.memory.evictions,
+            memory_entries=len(self.memory),
+            disk_hits=self.disk.hits if self.disk is not None else 0,
+            disk_misses=self.disk.misses if self.disk is not None else 0,
+            disk_entries=len(self.disk) if self.disk is not None else 0,
+        )
+
+    def clear(self) -> dict[str, int]:
+        """Drop all entries in both layers; returns per-layer drop counts."""
+        dropped = {"memory": self.memory.clear()}
+        if self.disk is not None:
+            dropped["disk"] = self.disk.clear()
+        return dropped
+
+
+_GLOBAL_ENABLED = True
+_DEFAULT: ResultCache | None = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache instance (created lazily on first use).
+
+    Honours the ``REPRO_CACHE_DIR`` environment variable at creation time:
+    when set and non-empty, results are also persisted under that directory
+    so later *processes* (a resumed run, the next CLI invocation) reuse them.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        disk_root = os.environ.get("REPRO_CACHE_DIR") or None
+        _DEFAULT = ResultCache(max_entries=128, disk_root=disk_root)
+    return _DEFAULT
+
+
+def configure(max_entries: int = 128,
+              disk_root: str | os.PathLike[str] | None = None) -> ResultCache:
+    """Replace the process-wide cache with one using the given settings."""
+    global _DEFAULT
+    _DEFAULT = ResultCache(max_entries=max_entries, disk_root=disk_root)
+    return _DEFAULT
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide instance (next use re-reads the environment)."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable caching (``--no-cache`` reproducibility mode)."""
+    global _GLOBAL_ENABLED
+    _GLOBAL_ENABLED = bool(enabled)
+
+
+def is_enabled() -> bool:
+    """Whether caching is globally enabled (see :func:`set_enabled`)."""
+    return _GLOBAL_ENABLED

@@ -73,9 +73,25 @@ class Column:
     def __len__(self) -> int:
         return int(self.values.shape[0])
 
+    @classmethod
+    def _from_validated(cls, name: str, role: ColumnRole, values: np.ndarray) -> "Column":
+        """Wrap values that already went through ``__post_init__`` once.
+
+        Selecting records from a validated column cannot invalidate it: a
+        subset of finite float64 values is finite float64, a subset of bools
+        is bool, and a subset of canonical strings is canonical strings. So
+        derived columns skip the conversion/validation pass instead of
+        re-running it per :meth:`take` — same arrays, bit for bit.
+        """
+        col = object.__new__(cls)
+        object.__setattr__(col, "name", name)
+        object.__setattr__(col, "role", role)
+        object.__setattr__(col, "values", values)
+        return col
+
     def take(self, indices: np.ndarray) -> "Column":
         """Return a new column restricted to ``indices``."""
-        return Column(self.name, self.role, self.values[indices])
+        return Column._from_validated(self.name, self.role, self.values[indices])
 
     @property
     def is_constant(self) -> bool:
@@ -121,6 +137,25 @@ class Dataset:
         self._by_name = {c.name: c for c in columns}
         self.target = target
         self.target_name = target_name
+        self._fingerprint: str | None = None
+
+    @classmethod
+    def _from_validated(
+        cls, columns: list[Column], target: np.ndarray, target_name: str
+    ) -> "Dataset":
+        """Assemble a dataset from parts a validated dataset already owns.
+
+        Record selection preserves every invariant ``__init__`` checks
+        (finite target, unique names, aligned lengths), so derived datasets
+        skip the re-validation pass.
+        """
+        ds = object.__new__(cls)
+        ds._columns = columns
+        ds._by_name = {c.name: c for c in columns}
+        ds.target = target
+        ds.target_name = target_name
+        ds._fingerprint = None
+        return ds
 
     # -- introspection ----------------------------------------------------
 
@@ -147,6 +182,25 @@ class Dataset:
     def __len__(self) -> int:
         return self.n_records
 
+    def fingerprint(self) -> str:
+        """Stable content digest of columns + target (computed once, cached).
+
+        Two datasets with equal names, roles, values, and targets share a
+        fingerprint in any process on any platform, so it can address cache
+        entries derived from this dataset (e.g. encoded design matrices).
+        """
+        if self._fingerprint is None:
+            from repro.cache.fingerprint import stable_fingerprint
+
+            parts: list = [self.target_name, self.target]
+            for col in self._columns:
+                values = col.values
+                if values.dtype == object:  # canonical strings; hash as such
+                    values = list(values.tolist())
+                parts.append((col.name, col.role.value, values))
+            self._fingerprint = stable_fingerprint(parts)
+        return self._fingerprint
+
     def __repr__(self) -> str:  # pragma: no cover - formatting
         return (
             f"Dataset(n_records={self.n_records}, n_columns={len(self._columns)}, "
@@ -160,18 +214,21 @@ class Dataset:
         idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
         if idx.size and (idx.min() < -self.n_records or idx.max() >= self.n_records):
             raise IndexError(f"indices out of range for {self.n_records} records")
-        return Dataset(
+        return Dataset._from_validated(
             [c.take(idx) for c in self._columns],
             self.target[idx],
             self.target_name,
         )
 
-    def random_split(
+    def random_split_indices(
         self, fraction: float, rng: np.random.Generator
-    ) -> tuple["Dataset", "Dataset"]:
-        """Randomly split into (selected, rest) with ``fraction`` of records.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The (selected, rest) index pair behind :meth:`random_split`.
 
-        At least one record lands on each side provided ``n_records >= 2``.
+        Consumes exactly one permutation draw from ``rng`` — the same draw
+        :meth:`random_split` makes — so callers that need the indices (e.g.
+        to ship one shared dataset plus index pairs to workers) observe an
+        identical random stream.
         """
         if not (0.0 < fraction < 1.0):
             raise ValueError(f"fraction must be in (0, 1), got {fraction}")
@@ -180,7 +237,17 @@ class Dataset:
         n_sel = int(round(fraction * self.n_records))
         n_sel = min(max(n_sel, 1), self.n_records - 1)
         perm = rng.permutation(self.n_records)
-        return self.take(np.sort(perm[:n_sel])), self.take(np.sort(perm[n_sel:]))
+        return np.sort(perm[:n_sel]), np.sort(perm[n_sel:])
+
+    def random_split(
+        self, fraction: float, rng: np.random.Generator
+    ) -> tuple["Dataset", "Dataset"]:
+        """Randomly split into (selected, rest) with ``fraction`` of records.
+
+        At least one record lands on each side provided ``n_records >= 2``.
+        """
+        sel, rest = self.random_split_indices(fraction, rng)
+        return self.take(sel), self.take(rest)
 
     def sample(self, n: int, rng: np.random.Generator) -> tuple["Dataset", np.ndarray]:
         """Sample ``n`` records without replacement; returns (subset, indices)."""

@@ -35,9 +35,31 @@ import numpy as np
 
 from repro.ml.dataset import ColumnRole, Dataset
 
-__all__ = ["MinMaxScaler", "Encoder", "EncoderReport"]
+__all__ = ["MinMaxScaler", "Encoder", "EncoderReport", "raw_matrix_cache"]
 
 EncoderTarget = Literal["linear", "nn"]
+
+#: Only datasets at least this large go through the raw-matrix cache; for
+#: smaller ones (per-rep holdout halves) fingerprinting costs more than the
+#: Python-loop encoding it would save.
+_RAW_CACHE_MIN_RECORDS = 256
+
+_RAW_MATRIX_CACHE = None
+
+
+def _raw_matrix_cache():
+    """Process-wide LRU of unscaled design matrices, keyed by (data, plan)."""
+    global _RAW_MATRIX_CACHE
+    if _RAW_MATRIX_CACHE is None:
+        from repro.cache.memory import LRUCache
+
+        _RAW_MATRIX_CACHE = LRUCache(max_entries=32)
+    return _RAW_MATRIX_CACHE
+
+
+def raw_matrix_cache():
+    """Public accessor (stats/clear) for the encoder's raw-matrix cache."""
+    return _raw_matrix_cache()
 
 
 class MinMaxScaler:
@@ -184,7 +206,32 @@ class Encoder:
     # -- transformation ----------------------------------------------------
 
     def _raw_matrix(self, dataset: Dataset) -> np.ndarray:
+        """Unscaled design matrix for the fitted plan, cached for big inputs.
+
+        The raw matrix depends only on (dataset contents, plan) — not on the
+        scaler or which training part this encoder was fit on — so when many
+        models encode the same large dataset (every model predicting the full
+        4608-point design space, every rate) the matrix is built once and
+        served as a defensive copy thereafter. Small datasets (per-rep
+        holdout halves) skip the cache: fingerprinting them costs more than
+        re-encoding.
+        """
         assert self._plan is not None
+        if dataset.n_records < _RAW_CACHE_MIN_RECORDS:
+            return self._build_raw_matrix(dataset)
+        from repro.cache import is_enabled, stable_fingerprint
+
+        if not is_enabled():
+            return self._build_raw_matrix(dataset)
+        key = stable_fingerprint((dataset.fingerprint(), self._plan))
+        cached = _raw_matrix_cache().get(key)
+        if cached is not None:
+            return cached.copy()
+        X = self._build_raw_matrix(dataset)
+        _raw_matrix_cache().put(key, X.copy())
+        return X
+
+    def _build_raw_matrix(self, dataset: Dataset) -> np.ndarray:
         blocks: list[np.ndarray] = []
         for name, kind, levels in self._plan:
             col = dataset.column(name)

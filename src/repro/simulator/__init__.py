@@ -29,6 +29,12 @@ from repro.simulator.config import (
     design_space_dataset,
     enumerate_design_space,
 )
+from repro.simulator.batch import (
+    BatchResult,
+    ConfigBlock,
+    evaluate_design_space_batch,
+    pack_design_space,
+)
 from repro.simulator.interval import (
     DEFAULT_LATENCIES,
     IntervalResult,
@@ -69,6 +75,8 @@ __all__ = [
     "design_space_dataset", "enumerate_design_space",
     "DEFAULT_LATENCIES", "IntervalResult", "Latencies",
     "evaluate_config", "sweep_design_space",
+    "BatchResult", "ConfigBlock", "evaluate_design_space_batch",
+    "pack_design_space",
     "FU_CLASSES", "OP_LATENCY", "OpClass", "Trace",
     "SimulationResult", "simulate", "simulate_detailed",
     "PipelineResult", "simulate_pipeline",

@@ -97,17 +97,31 @@ def _miss(mem: MemoryBehavior, size: int, line: int, assoc: int) -> float:
     return miss_rate(mem, size, line, assoc)
 
 
-def _mlp_overlap(profile: WorkloadProfile, config: MicroarchConfig) -> float:
-    """Achievable long-latency miss overlap given RUU and LSQ sizes."""
-    window = min(config.ruu_size, 2 * config.lsq_size)
+def _mlp_overlap_from_window(profile: WorkloadProfile, window: int) -> float:
+    """Long-latency miss overlap for an effective window of ``window`` entries."""
     ilp = profile.ilp
     return 1.0 + (ilp.mlp_inf - 1.0) * (1.0 - math.exp(-window / ilp.mlp_tau))
 
 
-def _base_cpi(profile: WorkloadProfile, config: MicroarchConfig) -> float:
-    """Width-, window- and FU-limited steady-state CPI."""
+def _mlp_overlap(profile: WorkloadProfile, config: MicroarchConfig) -> float:
+    """Achievable long-latency miss overlap given RUU and LSQ sizes."""
+    return _mlp_overlap_from_window(profile, min(config.ruu_size, 2 * config.lsq_size))
+
+
+def _base_cpi_from_cluster(
+    profile: WorkloadProfile,
+    width: int,
+    ruu_size: int,
+    fu_counts: tuple[int, int, int, int, int],
+) -> float:
+    """Width-, window- and FU-limited steady-state CPI for one width cluster.
+
+    ``fu_counts`` is (ialu, imult, memport, fpalu, fpmult). Shared by the
+    scalar path and the batched kernel (which calls it once per unique
+    cluster), so both produce the exact same floats.
+    """
     ilp = profile.ilp
-    window_ipc = ilp.ilp_inf * (1.0 - math.exp(-config.ruu_size / ilp.window_tau))
+    window_ipc = ilp.ilp_inf * (1.0 - math.exp(-ruu_size / ilp.window_tau))
     # Functional-unit throughput limits: class fraction f served by n units
     # caps sustainable IPC at n / f.
     fu_limits = []
@@ -118,11 +132,21 @@ def _base_cpi(profile: WorkloadProfile, config: MicroarchConfig) -> float:
         "fpalu": profile.mix_fraction("fpalu"),
         "fpmult": profile.mix_fraction("fpmult"),
     }
+    counts = dict(zip(("ialu", "imult", "memport", "fpalu", "fpmult"), fu_counts))
     for pool, frac in class_fractions.items():
         if frac > 0.0:
-            fu_limits.append(config.fu_count(pool) / frac)
-    ipc = min(float(config.width), window_ipc, *fu_limits)
+            fu_limits.append(counts[pool] / frac)
+    ipc = min(float(width), window_ipc, *fu_limits)
     return 1.0 / max(ipc, 1e-6)
+
+
+def _base_cpi(profile: WorkloadProfile, config: MicroarchConfig) -> float:
+    """Width-, window- and FU-limited steady-state CPI."""
+    return _base_cpi_from_cluster(
+        profile, config.width, config.ruu_size,
+        (config.fu_ialu, config.fu_imult, config.fu_memport,
+         config.fu_fpalu, config.fu_fpmult),
+    )
 
 
 def evaluate_config(
@@ -209,29 +233,119 @@ def _eval_cycles(args: tuple[MicroarchConfig, WorkloadProfile, int]) -> float:
     return evaluate_config(config, profile, n_instructions).cycles
 
 
+def _eval_block_slice(args: tuple) -> list[float]:
+    """One batched sweep task: evaluate rows [start, stop) of a shipped block.
+
+    The design space travels once per worker via a shared-memory payload
+    handle (see :mod:`repro.parallel.shm`); the task tuple itself is a few
+    dozen bytes. Module-level so it can cross process borders.
+    """
+    from repro.parallel.shm import attach_payload
+    from repro.simulator.batch import evaluate_design_space_batch
+
+    handle, start, stop = args
+    block, profile, n_instructions = attach_payload(handle)
+    cycles = evaluate_design_space_batch(
+        block.slice(start, stop), profile, n_instructions)
+    return cycles.tolist()
+
+
+def _batched_executor_sweep(configs, profile, n_instructions, executor) -> np.ndarray:
+    """Fan a batched sweep out over an executor, shipping the space once."""
+    import os
+
+    from repro.parallel.executor import SerialExecutor
+    from repro.parallel.partition import chunk_bounds
+    from repro.parallel.shm import SharedPayload
+    from repro.simulator.batch import pack_design_space
+
+    block = pack_design_space(configs)
+    # A serial executor runs in-process: skip the shared-memory round trip
+    # (the resilient wrapper exposes its backend as ``inner``).
+    backend = getattr(executor, "inner", executor)
+    use_shm = not isinstance(backend, SerialExecutor)
+    n_chunks = min(len(configs), 4 * (os.cpu_count() or 1))
+    with SharedPayload((block, profile, n_instructions), use_shm=use_shm) as shipped:
+        tasks = [(shipped.handle, start, stop)
+                 for start, stop in chunk_bounds(len(configs), n_chunks)]
+        parts = executor.map(_eval_block_slice, tasks)
+    return np.concatenate([np.asarray(p, dtype=np.float64) for p in parts])
+
+
 def sweep_design_space(
     configs: Sequence[MicroarchConfig],
     profile: WorkloadProfile,
     n_instructions: int = 100_000_000,
     executor=None,
     parallel: bool | None = None,
+    method: str = "auto",
+    cache=None,
 ) -> np.ndarray:
-    """Cycle counts for every configuration (optionally on an executor).
+    """Cycle counts for every configuration.
 
-    The per-config evaluation is microseconds thanks to geometry
-    memoization, so the default is serial; pass a
-    :class:`repro.parallel.Executor` to fan out anyway (used by the
-    parallel-scaling ablation benchmark and the CLI's fault-tolerant
-    sweeps). With ``parallel`` set instead, the sweep creates a
-    :func:`repro.parallel.default_executor` and always closes it (no
-    leaked process pools).
+    ``method`` selects the evaluation kernel — every choice returns
+    bit-identical cycles (the test suite pins this over the full space):
+
+    * ``"batch"`` — vectorized structure-of-arrays evaluation
+      (:func:`repro.simulator.batch.evaluate_design_space_batch`). With an
+      executor (or ``parallel``), the packed design space ships to workers
+      once via shared memory and each task evaluates a contiguous slice.
+    * ``"scalar"`` — the per-config loop, kept as the cross-check oracle.
+      With an executor, each configuration is one task (the historical task
+      shape, which checkpoint journals from older runs key on).
+    * ``"auto"`` (default) — ``"batch"`` when serial, ``"scalar"`` when an
+      ``executor`` is passed, preserving the per-config task fingerprints of
+      existing checkpointed sweeps.
+
+    ``cache`` enables content-addressed result caching: pass ``True`` for the
+    process-wide default :func:`repro.cache.default_cache`, or a
+    :class:`repro.cache.ResultCache`. Cached sweeps are keyed by the design
+    space, profile, instruction count, and simulator code version, so any
+    code or input change recomputes. ``parallel`` (with no ``executor``)
+    creates — and always closes — a
+    :func:`repro.parallel.default_executor`.
     """
-    tasks = [(c, profile, n_instructions) for c in configs]
-    if executor is not None:
-        return np.array(executor.map(_eval_cycles, tasks))
-    if parallel is not None:
-        from repro.parallel.executor import default_executor
+    if method not in ("auto", "batch", "scalar"):
+        raise ValueError(f"method must be auto|batch|scalar, got {method!r}")
+    configs = list(configs)
+    if not configs:
+        return np.array([], dtype=np.float64)
 
-        with default_executor(len(tasks), parallel) as ex:
-            return np.array(ex.map(_eval_cycles, tasks))
-    return np.array([_eval_cycles(t) for t in tasks])
+    def compute() -> np.ndarray:
+        resolved = method
+        if resolved == "auto":
+            resolved = "scalar" if executor is not None else "batch"
+        if resolved == "batch":
+            if executor is not None:
+                return _batched_executor_sweep(
+                    configs, profile, n_instructions, executor)
+            if parallel is not None:
+                from repro.parallel.executor import default_executor
+
+                with default_executor(len(configs), parallel) as ex:
+                    return _batched_executor_sweep(
+                        configs, profile, n_instructions, ex)
+            from repro.simulator.batch import evaluate_design_space_batch
+
+            return evaluate_design_space_batch(configs, profile, n_instructions)
+        tasks = [(c, profile, n_instructions) for c in configs]
+        if executor is not None:
+            return np.array(executor.map(_eval_cycles, tasks))
+        if parallel is not None:
+            from repro.parallel.executor import default_executor
+
+            with default_executor(len(tasks), parallel) as ex:
+                return np.array(ex.map(_eval_cycles, tasks))
+        return np.array([_eval_cycles(t) for t in tasks])
+
+    if cache is None or cache is False:
+        return compute()
+    from repro.cache import default_cache
+    from repro.cache.fingerprint import code_version
+    from repro.simulator.batch import pack_design_space
+
+    store = default_cache() if cache is True else cache
+    key = ("sweep-cycles", code_version(), pack_design_space(configs).to_arrays(),
+           profile, float(n_instructions))
+    return np.array(store.get_or_compute(key, compute, kind="sweep-cycles"),
+                    dtype=np.float64)

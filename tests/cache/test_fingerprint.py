@@ -1,0 +1,120 @@
+"""Stable fingerprints: equality, sensitivity, and cross-process stability."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.cache import code_version, stable_fingerprint
+from repro.simulator import get_profile, pack_design_space
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: int
+    y: float
+
+
+class TestStability:
+    def test_equal_values_equal_digests(self):
+        a = {"b": [1, 2.5, "s"], "a": np.arange(4)}
+        b = {"a": np.arange(4), "b": [1, 2.5, "s"]}
+        assert stable_fingerprint(a) == stable_fingerprint(b)
+
+    def test_digest_is_hex_sha256(self):
+        fp = stable_fingerprint((1, "x"))
+        assert len(fp) == 64
+        int(fp, 16)  # raises if not hex
+
+    def test_cross_process_stability(self):
+        """The same value fingerprints identically in a fresh interpreter.
+
+        In-process ``hash()`` is salted per run; a content fingerprint must
+        not be. This is what makes disk entries reusable across CLI
+        invocations and checkpoint resumes.
+        """
+        snippet = (
+            "import numpy as np\n"
+            "from repro.cache import stable_fingerprint\n"
+            "print(stable_fingerprint(("
+            "'sweep-cycles', np.arange(10, dtype=np.int64), 2.5, 'gcc')))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", snippet], capture_output=True, text=True,
+            check=True)
+        here = stable_fingerprint(
+            ("sweep-cycles", np.arange(10, dtype=np.int64), 2.5, "gcc"))
+        assert out.stdout.strip() == here
+
+    def test_real_sweep_key_is_stable(self, design_space):
+        block = pack_design_space(design_space)
+        key = ("sweep-cycles", block.to_arrays(), get_profile("gcc"), 1e8)
+        assert stable_fingerprint(key) == stable_fingerprint(key)
+
+
+class TestSensitivity:
+    def test_value_changes_change_digest(self):
+        base = stable_fingerprint([1, 2, 3])
+        assert stable_fingerprint([1, 2, 4]) != base
+        assert stable_fingerprint([1, 2]) != base
+
+    def test_type_distinctions(self):
+        assert stable_fingerprint(1) != stable_fingerprint(1.0)
+        assert stable_fingerprint(1) != stable_fingerprint(True)
+        assert stable_fingerprint(0) != stable_fingerprint(False)
+        assert stable_fingerprint("1") != stable_fingerprint(1)
+        assert stable_fingerprint(b"ab") != stable_fingerprint("ab")
+
+    def test_array_dtype_and_shape_matter(self):
+        a = np.arange(6, dtype=np.int64)
+        assert stable_fingerprint(a) != stable_fingerprint(a.astype(np.int32))
+        assert stable_fingerprint(a) != stable_fingerprint(a.reshape(2, 3))
+
+    def test_nested_boundaries_are_unambiguous(self):
+        assert stable_fingerprint([[1], [2]]) != stable_fingerprint([[1, 2]])
+        assert stable_fingerprint([1, [2]]) != stable_fingerprint([[1], 2])
+
+    def test_dataclass_fields_and_type_matter(self):
+        assert (stable_fingerprint(_Point(1, 2.0))
+                != stable_fingerprint(_Point(1, 3.0)))
+        assert (stable_fingerprint(_Point(1, 2.0))
+                != stable_fingerprint((1, 2.0)))
+
+    def test_config_change_changes_sweep_key(self, design_space):
+        profile = get_profile("gcc")
+        a = pack_design_space(design_space[:10])
+        b = pack_design_space(design_space[1:11])
+        assert (stable_fingerprint((a.to_arrays(), profile))
+                != stable_fingerprint((b.to_arrays(), profile)))
+
+    def test_float_edge_cases(self):
+        assert stable_fingerprint(0.0) != stable_fingerprint(-0.0)
+        nan = float("nan")
+        assert stable_fingerprint(nan) == stable_fingerprint(nan)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="fingerprint"):
+            stable_fingerprint(object())
+        with pytest.raises(TypeError, match="object-dtype"):
+            stable_fingerprint(np.array([object()]))
+
+
+class TestCodeVersion:
+    def test_deterministic_within_process(self):
+        assert code_version() == code_version()
+
+    def test_reflects_simulator_sources(self):
+        """A rebuilt digest over the same sources matches; the cached one is real."""
+        import hashlib
+
+        from repro.cache import fingerprint as fp_mod
+
+        h = hashlib.sha256()
+        for chunk in fp_mod._iter_source_bytes():
+            h.update(len(chunk).to_bytes(8, "big"))
+            h.update(chunk)
+        assert code_version() == h.hexdigest()

@@ -96,3 +96,83 @@ class TestSelectModel:
     def test_rejects_empty(self, rng):
         with pytest.raises(ValueError):
             select_model({}, _ds(), rng)
+
+
+class TestHoistedPreparationBitIdentity:
+    """The fast record-selection path is pinned against the seed semantics.
+
+    The seed implementation re-ran column validation/conversion inside every
+    holdout repetition (each ``take`` rebuilt every column through
+    ``Column.__post_init__``) and materialized both split halves before
+    dispatch. Those passes are now hoisted — derived columns skip
+    re-validation and splits ship as index pairs — which provably cannot
+    change any value. These tests re-run the seed recipe and require exact
+    equality.
+    """
+
+    def _seed_take(self, ds, idx):
+        """The seed ``Dataset.take``: full re-validation of every column."""
+        from repro.ml.dataset import Column, Dataset
+
+        idx = np.asarray(idx)
+        return Dataset(
+            [Column(c.name, c.role, c.values[idx]) for c in ds.columns],
+            ds.target[idx],
+            ds.target_name,
+        )
+
+    def _mixed_ds(self):
+        rng = np.random.default_rng(7)
+        from repro.ml.dataset import Dataset
+
+        return Dataset.from_mapping(
+            numeric={"a": rng.normal(size=40), "b": rng.uniform(1, 9, size=40)},
+            flags={"f": rng.integers(0, 2, size=40).astype(bool)},
+            categorical={"c": np.array(
+                [("x", "y", "z")[i % 3] for i in range(40)])},
+            target=rng.uniform(1.0, 2.0, size=40),
+        )
+
+    def test_take_matches_seed_take_exactly(self):
+        ds = self._mixed_ds()
+        idx = np.array([0, 3, 3, 17, 39, 5])
+        fast, seed = ds.take(idx), self._seed_take(ds, idx)
+        assert np.array_equal(fast.target, seed.target)
+        for name in ds.column_names:
+            a, b = fast.column(name), seed.column(name)
+            assert a.role is b.role
+            assert a.values.dtype == b.values.dtype
+            assert np.array_equal(a.values, b.values)
+
+    def test_estimate_error_matches_seed_loop_exactly(self):
+        """Seed recipe: datasets materialized via re-validating take, per rep."""
+        from repro.util.stats import mean_absolute_percentage_error
+
+        ds = self._mixed_ds()
+        builder = lambda: _ConstantModel(1.05)  # noqa: E731
+
+        def seed_estimate(rng):
+            errors = []
+            for _ in range(5):
+                sel, rest = ds.random_split_indices(0.5, rng)
+                fit_part = self._seed_take(ds, sel)
+                eval_part = self._seed_take(ds, rest)
+                model = builder()
+                model.fit(fit_part)
+                errors.append(mean_absolute_percentage_error(
+                    model.predict(eval_part), eval_part.target))
+            return tuple(errors)
+
+        seed = seed_estimate(np.random.default_rng(42))
+        current = estimate_error(builder, ds, np.random.default_rng(42), n_reps=5)
+        assert current.per_rep == seed
+
+    def test_random_split_consumes_one_draw_like_seed(self):
+        """Split via indices leaves the rng stream exactly where seed did."""
+        ds = self._mixed_ds()
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        ds.random_split(0.5, rng_a)
+        n_sel = max(min(int(round(0.5 * ds.n_records)), ds.n_records - 1), 1)
+        perm = rng_b.permutation(ds.n_records)  # the seed's single draw
+        assert n_sel == 20 and perm.shape == (40,)
+        assert rng_a.integers(1 << 30) == rng_b.integers(1 << 30)

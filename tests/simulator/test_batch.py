@@ -1,0 +1,124 @@
+"""Batched design-space evaluation: bit-identity against the scalar oracle."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    BatchResult,
+    ConfigBlock,
+    evaluate_config,
+    evaluate_design_space_batch,
+    get_profile,
+    pack_design_space,
+    sweep_design_space,
+)
+from repro.simulator.interval import _miss
+from repro.simulator.workloads import SPEC2000_PROFILES
+
+
+class TestPackDesignSpace:
+    def test_round_trip_columns(self, design_space):
+        block = pack_design_space(design_space)
+        assert block.n_configs == len(design_space)
+        assert len(block) == len(design_space)
+        for i in (0, 17, len(design_space) - 1):
+            cfg = design_space[i]
+            assert block.l1d_size[i] == cfg.l1d_size
+            assert block.width[i] == cfg.width
+            assert block.fu_fpmult[i] == cfg.fu_fpmult
+            assert bool(block.issue_wrongpath[i]) == cfg.issue_wrongpath
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            pack_design_space([])
+
+    def test_slice_is_zero_copy_view(self, design_space):
+        block = pack_design_space(design_space)
+        part = block.slice(100, 200)
+        assert part.n_configs == 100
+        assert part.l1d_size.base is block.l1d_size
+        assert np.array_equal(part.width, block.width[100:200])
+
+    def test_mismatched_column_lengths_rejected(self, design_space):
+        block = pack_design_space(design_space[:4])
+        cols = block.to_arrays()
+        cols["width"] = cols["width"][:2]
+        with pytest.raises(ValueError, match="width"):
+            ConfigBlock(**cols)
+
+
+class TestBatchBitIdentity:
+    def test_full_space_matches_scalar_oracle_every_profile(self, design_space):
+        """The headline guarantee: np.array_equal over all 4608 configs."""
+        for app in sorted(SPEC2000_PROFILES):
+            profile = get_profile(app)
+            _miss.cache_clear()
+            batch = evaluate_design_space_batch(design_space, profile)
+            scalar = np.array(
+                [evaluate_config(c, profile).cycles for c in design_space])
+            assert np.array_equal(batch, scalar), f"batch diverged for {app}"
+
+    def test_components_match_scalar_fields(self, design_space):
+        profile = get_profile("mcf")
+        subset = design_space[::97]
+        result = evaluate_design_space_batch(subset, profile, components=True)
+        assert isinstance(result, BatchResult)
+        for i, cfg in enumerate(subset):
+            ref = evaluate_config(cfg, profile)
+            for f in dataclasses.fields(ref):
+                got = getattr(result, f.name)
+                want = getattr(ref, f.name)
+                if f.name == "n_instructions":
+                    assert got == want
+                else:
+                    assert got[i] == want, (f.name, cfg.short_label())
+
+    def test_accepts_prepacked_block(self, design_space):
+        profile = get_profile("gzip")
+        subset = design_space[:32]
+        via_block = evaluate_design_space_batch(pack_design_space(subset), profile)
+        via_list = evaluate_design_space_batch(subset, profile)
+        assert np.array_equal(via_block, via_list)
+
+    def test_n_instructions_scales_cycles(self, design_space):
+        profile = get_profile("applu")
+        subset = design_space[:8]
+        small = evaluate_design_space_batch(subset, profile, n_instructions=1_000)
+        ref = [evaluate_config(c, profile, n_instructions=1_000).cycles
+               for c in subset]
+        assert np.array_equal(small, np.array(ref))
+
+    def test_invalid_n_instructions_rejected(self, design_space):
+        with pytest.raises(ValueError, match="n_instructions"):
+            evaluate_design_space_batch(design_space[:2], get_profile("gcc"),
+                                        n_instructions=0)
+
+
+class TestSweepMethods:
+    def test_batch_and_scalar_methods_agree(self, design_space):
+        profile = get_profile("swim")
+        subset = design_space[:64]
+        batch = sweep_design_space(subset, profile, method="batch")
+        scalar = sweep_design_space(subset, profile, method="scalar")
+        assert np.array_equal(batch, scalar)
+
+    def test_auto_is_batch_when_serial(self, design_space):
+        profile = get_profile("gcc")
+        subset = design_space[:16]
+        auto = sweep_design_space(subset, profile)
+        scalar = sweep_design_space(subset, profile, method="scalar")
+        assert np.array_equal(auto, scalar)
+
+    def test_unknown_method_rejected(self, design_space):
+        with pytest.raises(ValueError, match="method"):
+            sweep_design_space(design_space[:2], get_profile("gcc"),
+                               method="quantum")
+
+    def test_empty_configs(self):
+        out = sweep_design_space([], get_profile("gcc"))
+        assert out.shape == (0,)
+        assert out.dtype == np.float64
