@@ -13,13 +13,18 @@ writes one machine-readable JSON file so future changes can see regressions:
 3. **result_cache** — cold/warm/disk-warm sweep timings plus counter
    snapshots, and a two-rate ``run_sampled_dse`` sweep recording per-rate
    cache hits (the second rate must hit).
+4. **observability** — the traced sweep versus the untraced sweep (tracing
+   must be bit-identical and cheap), plus a small traced pipeline whose
+   per-phase timings are embedded in the report and whose JSONL trace is
+   written to ``benchmarks/results/BENCH_trace.jsonl`` for
+   ``repro obs summarize``.
 
 Run::
 
     PYTHONPATH=src python benchmarks/perf_harness.py [--reduced] [--out PATH]
 
-Exit codes: 0 ok; 2 batched vs scalar divergence; 3 cache layers failed to
-produce second-rate hits or changed results.
+Exit codes: 0 ok; 2 batched-vs-scalar or traced-vs-untraced divergence;
+3 cache layers failed to produce second-rate hits or changed results.
 """
 
 from __future__ import annotations
@@ -38,9 +43,11 @@ try:
 except ImportError:  # running from a checkout without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.cache import ResultCache
+from repro import obs
+from repro.cache import ResultCache, cache_snapshot
 from repro.core import model_builders, run_sampled_dse
 from repro.ml.preprocess import raw_matrix_cache
+from repro.obs.summarize import phase_rows, read_trace, summarize_trace
 from repro.parallel.executor import ProcessExecutor
 from repro.simulator import (
     design_space_dataset,
@@ -156,6 +163,42 @@ def bench_rate_sweep(configs, profile, reduced: bool) -> dict:
     }
 
 
+def bench_observability(configs, profile, reduced: bool, trace_out: Path) -> dict:
+    """Traced vs untraced sweep, plus a traced pipeline's phase breakdown."""
+    untraced_s, untraced = _timed(
+        lambda: sweep_design_space(configs, profile, method="batch"), repeats=3)
+
+    trace_out.parent.mkdir(parents=True, exist_ok=True)
+    trace_out.unlink(missing_ok=True)
+    obs.reset_default_registry()
+    obs.configure(trace_path=trace_out, registry=obs.default_registry())
+    try:
+        traced_s, traced = _timed(
+            lambda: sweep_design_space(configs, profile, method="batch"),
+            repeats=3)
+        # A small end-to-end pipeline so the trace (and the per-phase rows
+        # below) covers encode/train/predict/holdout, not just the sweep.
+        space = design_space_dataset(
+            configs, sweep_design_space(configs, profile))
+        run_sampled_dse(space, model_builders(("LR-B", "LR-E"), seed=0),
+                        0.01, np.random.default_rng(0),
+                        n_cv_reps=2 if reduced else 5)
+        obs.annotate("cache-snapshot", **cache_snapshot())
+    finally:
+        obs.shutdown()
+
+    summary = summarize_trace(*read_trace(trace_out))
+    return {
+        "untraced_sweep_seconds": untraced_s,
+        "traced_sweep_seconds": traced_s,
+        "tracing_overhead_pct": (traced_s / untraced_s - 1.0) * 100.0,
+        "bit_identical": bool(np.array_equal(untraced, traced)),
+        "trace_file": str(trace_out),
+        "n_spans": summary.n_spans,
+        "phases": phase_rows(summary),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--app", default="gcc",
@@ -181,41 +224,55 @@ def main(argv=None) -> int:
         "layers": {},
     }
 
-    print(f"[1/4] batch simulation vs scalar oracle ({len(configs)} configs)...")
+    print(f"[1/5] batch simulation vs scalar oracle ({len(configs)} configs)...")
     report["layers"]["batch_simulation"] = sim = bench_batch_simulation(
         configs, profile)
     print(f"      scalar {sim['scalar_seconds']:.3f}s  batch "
           f"{sim['batch_seconds']:.3f}s  speedup {sim['speedup']:.1f}x  "
           f"bit-identical {sim['bit_identical']}")
 
-    print("[2/4] zero-copy parallel path...")
+    print("[2/5] zero-copy parallel path...")
     report["layers"]["parallel_shm"] = par = bench_parallel_shm(configs, profile)
     print(f"      serial {par['serial_batch_seconds']:.3f}s  parallel warm "
           f"{par['parallel_warm_seconds']:.3f}s  bit-identical "
           f"{par['bit_identical']}")
 
-    print("[3/4] result cache (cold/warm/disk)...")
+    print("[3/5] result cache (cold/warm/disk)...")
     with tempfile.TemporaryDirectory() as tmp:
         report["layers"]["result_cache"] = rc = bench_result_cache(
             configs, profile, Path(tmp))
     print(f"      cold {rc['cold_seconds']:.3f}s  warm {rc['warm_seconds']:.4f}s  "
           f"disk-warm {rc['disk_warm_seconds']:.4f}s")
 
-    print("[4/4] two-rate sampled-DSE sweep with cache counters...")
+    print("[4/5] two-rate sampled-DSE sweep with cache counters...")
     report["rate_sweep"] = sweep = bench_rate_sweep(configs, profile, args.reduced)
     for row in sweep["per_rate"]:
         print(f"      rate {row['rate']:.2f}: {row['seconds']:.2f}s  "
               f"matrix hits {row['design_matrix_hits']}  "
               f"misses {row['design_matrix_misses']}")
 
+    print("[5/5] observability overhead (traced vs untraced sweep)...")
+    trace_out = Path(args.out).parent / "BENCH_trace.jsonl"
+    report["layers"]["observability"] = ob = bench_observability(
+        configs, profile, args.reduced, trace_out)
+    print(f"      untraced {ob['untraced_sweep_seconds']:.3f}s  traced "
+          f"{ob['traced_sweep_seconds']:.3f}s  overhead "
+          f"{ob['tracing_overhead_pct']:+.2f}%  bit-identical "
+          f"{ob['bit_identical']}")
+    for row in ob["phases"]:
+        print(f"      phase {row['phase']:<12} count={row['count']:<4} "
+              f"total={row['total_s']:.4f}s")
+
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
+    print(f"wrote {trace_out}")
 
-    diverged = not (sim["bit_identical"] and par["bit_identical"])
+    diverged = not (sim["bit_identical"] and par["bit_identical"]
+                    and ob["bit_identical"])
     if diverged:
-        print("FATAL: batched and scalar simulator outputs diverged",
+        print("FATAL: batched/scalar or traced/untraced sweep outputs diverged",
               file=sys.stderr)
         return 2
     if not (rc["bit_identical"] and sweep["second_rate_nonzero_hits"]):

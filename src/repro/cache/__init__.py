@@ -15,6 +15,7 @@ from repro.cache.memory import LRUCache
 from repro.cache.result_cache import (
     CacheStats,
     ResultCache,
+    cache_snapshot,
     configure,
     default_cache,
     is_enabled,
@@ -27,6 +28,7 @@ __all__ = [
     "DiskStore",
     "LRUCache",
     "ResultCache",
+    "cache_snapshot",
     "code_version",
     "configure",
     "default_cache",

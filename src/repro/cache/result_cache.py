@@ -28,10 +28,12 @@ from typing import Any, Callable
 from repro.cache.disk import DiskStore
 from repro.cache.fingerprint import stable_fingerprint
 from repro.cache.memory import LRUCache
+from repro.obs.metrics import default_registry as _metrics
 
 __all__ = [
     "CacheStats",
     "ResultCache",
+    "cache_snapshot",
     "configure",
     "default_cache",
     "is_enabled",
@@ -103,15 +105,18 @@ class ResultCache:
         value = self.memory.get(key, _MISS)
         if value is not _MISS:
             self.events.append(f"hit:memory:{kind}")
+            _metrics().counter("cache.memory.hits").inc()
             return value
         if self.disk is not None:
             value = self.disk.get(key, _MISS)
             if value is not _MISS:
                 self.events.append(f"hit:disk:{kind}")
+                _metrics().counter("cache.disk.hits").inc()
                 self.memory.put(key, value)
                 self._note_evictions(before)
                 return value
         self.events.append(f"miss:{kind}")
+        _metrics().counter("cache.misses").inc()
         value = compute()
         self.memory.put(key, value)
         if self.disk is not None:
@@ -120,7 +125,10 @@ class ResultCache:
         return value
 
     def _note_evictions(self, before: int) -> None:
-        for _ in range(self.memory.evictions - before):
+        n_evicted = self.memory.evictions - before
+        if n_evicted:
+            _metrics().counter("cache.evictions").inc(n_evicted)
+        for _ in range(n_evicted):
             self.events.append("evict:memory")
 
     def stats(self) -> CacheStats:
@@ -183,3 +191,30 @@ def set_enabled(enabled: bool) -> None:
 def is_enabled() -> bool:
     """Whether caching is globally enabled (see :func:`set_enabled`)."""
     return _GLOBAL_ENABLED
+
+
+def cache_snapshot() -> dict[str, Any]:
+    """Final counter snapshot of every process-wide cache layer.
+
+    Cache counters live on in-process instances and vanish at exit, so this
+    snapshot is what the CLI persists into ``--metrics-file`` (under the
+    ``"cache"`` key) and into the trace stream (a ``cache-snapshot`` event)
+    at the end of a run — the durable record ``repro cache stats`` can be
+    compared against. Covers the default :class:`ResultCache` (both layers)
+    and the encoder's raw-matrix LRU.
+    """
+    store = default_cache()
+    snap: dict[str, Any] = {
+        "enabled": is_enabled(),
+        "result_cache": store.stats().as_dict(),
+    }
+    from repro.ml.preprocess import raw_matrix_cache  # local: avoids a cycle
+
+    matrix = raw_matrix_cache()
+    snap["encoder_matrix_cache"] = {
+        "hits": matrix.hits,
+        "misses": matrix.misses,
+        "evictions": matrix.evictions,
+        "entries": len(matrix),
+    }
+    return snap

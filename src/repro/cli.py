@@ -16,6 +16,18 @@ Subcommands
     betas for one processor family.
 ``cache``
     Inspect (``stats``) or empty (``clear``) the persistent result cache.
+``obs``
+    Observability utilities: ``repro obs summarize trace.jsonl`` renders a
+    per-phase time/error breakdown of a recorded trace.
+
+Observability
+-------------
+Every workflow subcommand accepts ``--trace-file PATH`` (JSONL span stream
+covering the sweep/encode/train/predict/holdout phases), ``--metrics-file
+PATH`` (counter/gauge/histogram snapshot plus a final cache-counter
+snapshot), and ``--profile`` (aggregate cProfile report on stderr). All
+three are off by default and leave results bit-identical — see
+:mod:`repro.obs`.
 
 Result caching
 --------------
@@ -96,6 +108,19 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="root seed (default 0)")
 
 
+def _add_obs(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("observability")
+    g.add_argument("--trace-file", default=None, metavar="PATH",
+                   help="append JSONL span records (sweep/encode/train/"
+                        "predict/holdout phases) to PATH")
+    g.add_argument("--metrics-file", default=None, metavar="PATH",
+                   help="write a JSON metrics snapshot (counters, histograms, "
+                        "final cache counters) to PATH on exit")
+    g.add_argument("--profile", action="store_true",
+                   help="profile the hot paths with cProfile and print the "
+                        "report to stderr")
+
+
 def _add_cache(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("result cache")
     g.add_argument("--no-cache", action="store_true",
@@ -165,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_resilience(p)
     _add_cache(p)
+    _add_obs(p)
 
     p = sub.add_parser("sampled-dse", help="Figure 1a: sampled design-space exploration")
     p.add_argument("app", choices=sorted(SPEC2000_PROFILES))
@@ -175,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_resilience(p)
     _add_cache(p)
+    _add_obs(p)
 
     p = sub.add_parser("chronological", help="Figure 1b: predict next year's systems")
     p.add_argument("family", choices=list(FAMILY_ORDER))
@@ -187,12 +214,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_resilience(p)
     _add_cache(p)
+    _add_obs(p)
 
     p = sub.add_parser("importance", help="Sec 4.4: parameter importance analysis")
     p.add_argument("family", choices=list(FAMILY_ORDER))
     p.add_argument("--year", type=int, default=2005)
     p.add_argument("--top", type=int, default=8)
     _add_common(p)
+    _add_obs(p)
 
     p = sub.add_parser("cache", help="inspect or clear the persistent result cache")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
@@ -203,6 +232,13 @@ def build_parser() -> argparse.ArgumentParser:
         sp = cache_sub.add_parser(name, help=help_text)
         sp.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="cache directory (default: REPRO_CACHE_DIR)")
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    sp = obs_sub.add_parser(
+        "summarize", help="render a per-phase time/error breakdown of a trace")
+    sp.add_argument("trace", metavar="TRACE.JSONL",
+                    help="trace file recorded with --trace-file")
 
     return parser
 
@@ -285,7 +321,7 @@ def _cmd_importance(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     import os
 
-    from repro.cache import ResultCache
+    from repro.cache import ResultCache, cache_snapshot
 
     disk_root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
     store = ResultCache(disk_root=disk_root)
@@ -299,11 +335,77 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             },
             title=f"result cache at {where}",
         ))
+        # The same per-run counters a ``--metrics-file`` export records under
+        # its "cache" key, so the two views use one vocabulary. Counters are
+        # per-process: a fresh CLI invocation starts from zero; the export
+        # written at the end of a run is the durable record.
+        snap = cache_snapshot()
+        print()
+        print(format_kv(
+            {k: v for k, v in snap["result_cache"].items()
+             if not k.startswith("disk_")},
+            title="this process (result_cache counters)",
+        ))
+        print()
+        print(format_kv(snap["encoder_matrix_cache"],
+                        title="this process (encoder_matrix_cache counters)"))
         return 0
     dropped = store.clear()
     print(f"cleared {dropped.get('disk', 0)} disk entr"
           f"{'y' if dropped.get('disk', 0) == 1 else 'ies'} at {where}")
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import summarize_file
+
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        raise ReproError(f"no such trace file: {trace_path}")
+    print(summarize_file(trace_path))
+    return 0
+
+
+def _setup_observability(args: argparse.Namespace) -> bool:
+    """Configure tracing/metrics/profiling from the obs flags; True if any on."""
+    trace_file = getattr(args, "trace_file", None)
+    metrics_file = getattr(args, "metrics_file", None)
+    want_profile = getattr(args, "profile", False)
+    if not (trace_file or metrics_file or want_profile):
+        return False
+    from repro import obs
+
+    if trace_file or metrics_file:
+        obs.configure(trace_path=trace_file, registry=obs.default_registry())
+    if want_profile:
+        obs.enable_profiling()
+    return True
+
+
+def _finalize_observability(args: argparse.Namespace) -> None:
+    """Persist the final snapshots: trace event, metrics file, profile report.
+
+    Cache counters are per-instance and die with the process, so the final
+    snapshot is written into both exports — the durable record that
+    ``repro cache stats`` output can be reconciled against.
+    """
+    from repro import obs
+    from repro.cache import cache_snapshot
+
+    snapshot = cache_snapshot()
+    tracer = obs.get_tracer()
+    if tracer is not None:
+        obs.annotate("cache-snapshot", **snapshot)
+    metrics_file = getattr(args, "metrics_file", None)
+    if metrics_file:
+        obs.default_registry().export(metrics_file, extra={"cache": snapshot})
+    profiler = obs.get_profiler()
+    if profiler is not None:
+        print(profiler.report(), file=sys.stderr)
+    obs.shutdown()
+    obs.disable_profiling()
 
 
 _COMMANDS = {
@@ -312,6 +414,7 @@ _COMMANDS = {
     "chronological": _cmd_chronological,
     "importance": _cmd_importance,
     "cache": _cmd_cache,
+    "obs": _cmd_obs,
 }
 
 
@@ -335,6 +438,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.cache import configure
 
         configure(disk_root=args.cache_dir)
+    observed = _setup_observability(args)
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
@@ -343,6 +447,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("repro: interrupted", file=sys.stderr)
         return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout (e.g. `repro obs summarize
+        # t.jsonl | head`). Point stdout at devnull so the interpreter's
+        # exit flush cannot raise again, and use the conventional 128+PIPE.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    finally:
+        if observed:
+            _finalize_observability(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

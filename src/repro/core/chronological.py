@@ -18,6 +18,7 @@ import numpy as np
 from repro.ml.dataset import Dataset
 from repro.ml.metrics import ErrorSummary, summarize_errors
 from repro.ml.selection import ErrorEstimate, ModelBuilder, estimate_error
+from repro.obs import phase as _obs_phase
 from repro.parallel.executor import Executor, default_executor
 from repro.specdata.generator import generate_family_records
 from repro.specdata.schema import SystemRecord, records_to_dataset
@@ -102,12 +103,17 @@ def run_chronological(
     )
     errors: dict[str, ErrorSummary] = {}
     estimates: dict[str, ErrorEstimate] = {}
-    for label, builder in builders.items():
-        estimates[label] = estimate_error(builder, train, rng, n_reps=n_cv_reps,
-                                          executor=executor)
-        model = builder()
-        model.fit(train)
-        errors[label] = summarize_errors(model.predict(test), test.target)
+    with _obs_phase("chronological", family=family, train_year=train_year,
+                    test_year=test_year, n_models=len(builders)):
+        for label, builder in builders.items():
+            estimates[label] = estimate_error(builder, train, rng, n_reps=n_cv_reps,
+                                              executor=executor)
+            model = builder()
+            with _obs_phase("train", model=label, n_records=train.n_records):
+                model.fit(train)
+            with _obs_phase("predict", model=label, n_records=test.n_records):
+                predictions = model.predict(test)
+            errors[label] = summarize_errors(predictions, test.target)
     return ChronologicalResult(
         family=family,
         train_year=train_year,

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.ml.dataset import Dataset
 from repro.ml.selection import ErrorEstimate, ModelBuilder, estimate_error
+from repro.obs import phase as _obs_phase
 from repro.parallel.executor import Executor, default_executor
 from repro.util.stats import mean_absolute_percentage_error
 
@@ -104,20 +105,26 @@ def run_sampled_dse(
     if not builders:
         raise ValueError("no model builders given")
     n = sampling_counts(space.n_records, rate)
-    sample, _ = space.sample(n, rng)
+    with _obs_phase("sampled-dse", rate=rate, n_sampled=n,
+                    n_models=len(builders)):
+        sample, _ = space.sample(n, rng)
 
-    outcomes: dict[str, ModelOutcome] = {}
-    for label, builder in builders.items():
-        estimate = estimate_error(builder, sample, rng, n_reps=n_cv_reps,
-                                  executor=executor)
-        model = builder()
-        model.fit(sample)
-        true_err = mean_absolute_percentage_error(model.predict(space), space.target)
-        outcomes[label] = ModelOutcome(label=label, estimate=estimate, true_error=true_err)
+        outcomes: dict[str, ModelOutcome] = {}
+        for label, builder in builders.items():
+            estimate = estimate_error(builder, sample, rng, n_reps=n_cv_reps,
+                                      executor=executor)
+            model = builder()
+            with _obs_phase("train", model=label, n_records=sample.n_records):
+                model.fit(sample)
+            with _obs_phase("predict", model=label, n_records=space.n_records):
+                predictions = model.predict(space)
+            true_err = mean_absolute_percentage_error(predictions, space.target)
+            outcomes[label] = ModelOutcome(label=label, estimate=estimate,
+                                           true_error=true_err)
 
-    select_label = min(
-        outcomes, key=lambda k: outcomes[k].estimate.value(select_statistic)
-    )
+        select_label = min(
+            outcomes, key=lambda k: outcomes[k].estimate.value(select_statistic)
+        )
     return SampledDseResult(
         rate=rate,
         n_sampled=n,

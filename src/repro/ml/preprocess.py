@@ -34,6 +34,7 @@ from typing import Literal
 import numpy as np
 
 from repro.ml.dataset import ColumnRole, Dataset
+from repro.obs import phase as _obs_phase
 
 __all__ = ["MinMaxScaler", "Encoder", "EncoderReport", "raw_matrix_cache"]
 
@@ -161,6 +162,11 @@ class Encoder:
 
     def fit(self, dataset: Dataset) -> "Encoder":
         """Decide the per-column encoding plan from training data."""
+        with _obs_phase("encode", op="fit", for_model=self.for_model,
+                        n_records=dataset.n_records):
+            return self._fit(dataset)
+
+    def _fit(self, dataset: Dataset) -> "Encoder":
         plan: list[tuple[str, str, tuple[str, ...]]] = []
         dropped_constant: list[str] = []
         dropped_symbolic: list[str] = []
@@ -258,10 +264,12 @@ class Encoder:
         """Encode a dataset with the plan learned at ``fit`` time."""
         if self._plan is None:
             raise RuntimeError("encoder is not fit")
-        X = self._raw_matrix(dataset)
-        if self._scaler is not None:
-            X = self._scaler.transform(X)
-        return X
+        with _obs_phase("encode", op="transform", for_model=self.for_model,
+                        n_records=dataset.n_records):
+            X = self._raw_matrix(dataset)
+            if self._scaler is not None:
+                X = self._scaler.transform(X)
+            return X
 
     def fit_transform(self, dataset: Dataset) -> np.ndarray:
         return self.fit(dataset).transform(dataset)

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.ml.base import PredictiveModel
 from repro.ml.dataset import Dataset
+from repro.obs import phase as _obs_phase
 from repro.parallel.executor import Executor
 from repro.util.stats import mean_absolute_percentage_error
 
@@ -107,19 +108,21 @@ def estimate_error(
         raise ValueError(f"n_reps must be >= 1, got {n_reps}")
     splits = [train.random_split_indices(holdout, rng) for _ in range(n_reps)]
     name = builder().name
-    if executor is None:
-        errors = [_holdout_rep((builder, train.take(s), train.take(r)))
-                  for s, r in splits]
-    elif _process_backed(executor):
-        from repro.parallel.shm import SharedPayload
+    with _obs_phase("holdout", model=name, n_reps=n_reps,
+                    n_records=train.n_records):
+        if executor is None:
+            errors = [_holdout_rep((builder, train.take(s), train.take(r)))
+                      for s, r in splits]
+        elif _process_backed(executor):
+            from repro.parallel.shm import SharedPayload
 
-        with SharedPayload(train) as shipped:
+            with SharedPayload(train) as shipped:
+                errors = executor.map(
+                    _holdout_rep_shared,
+                    [(builder, shipped.handle, s, r) for s, r in splits])
+        else:
             errors = executor.map(
-                _holdout_rep_shared,
-                [(builder, shipped.handle, s, r) for s, r in splits])
-    else:
-        errors = executor.map(
-            _holdout_rep, [(builder, train.take(s), train.take(r)) for s, r in splits])
+                _holdout_rep, [(builder, train.take(s), train.take(r)) for s, r in splits])
     return ErrorEstimate(model_name=name, per_rep=tuple(errors))
 
 

@@ -1,0 +1,141 @@
+"""Observability: metrics registry, span tracing, and profiling hooks.
+
+``repro.obs`` is the measurement substrate for every layer of the pipeline.
+It is deliberately zero-dependency (stdlib only, plus :mod:`repro.util` for
+table rendering) so any subsystem — cache, parallel, simulator, ml, cli —
+can instrument itself without import cycles.
+
+Three cooperating pieces, each off by default and individually enableable:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry` of
+  counters/gauges/histograms; exported to JSON (``--metrics-file``) or a
+  text table.
+* :mod:`repro.obs.trace` — span-based tracing producing a JSONL event
+  stream (``--trace-file``) with parent/child nesting, monotonic timings,
+  and per-span exception capture; summarized by ``repro obs summarize``.
+* :mod:`repro.obs.profiling` — opt-in aggregate ``cProfile`` plus
+  wall-clock section timers around the hot paths (``--profile``).
+
+Instrumented code uses one primitive::
+
+    from repro.obs import phase
+
+    with phase("sweep", app=profile.name, n_configs=n) as sp:
+        cycles = compute()
+        sp.set(method=resolved)
+
+:func:`phase` opens a trace span *and* a profiling section under one name.
+When neither tracing nor profiling is configured (the default) it returns a
+shared no-op context manager — two global reads, no allocation beyond the
+keyword dict — so instrumented paths remain bit-identical and within noise
+of their uninstrumented wall-clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs import profiling, trace
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.profiling import (
+    Profiler,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profiled,
+    profiling_enabled,
+)
+from repro.obs.summarize import (
+    PhaseSummary,
+    TraceSummary,
+    phase_rows,
+    read_trace,
+    render_summary,
+    summarize_file,
+    summarize_trace,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    Tracer,
+    annotate,
+    configure,
+    get_tracer,
+    shutdown,
+    span,
+    tracing_enabled,
+    validate_record,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseSummary",
+    "Profiler",
+    "TRACE_SCHEMA",
+    "TraceSummary",
+    "Tracer",
+    "annotate",
+    "configure",
+    "default_registry",
+    "disable_profiling",
+    "enable_profiling",
+    "get_profiler",
+    "get_tracer",
+    "phase",
+    "phase_rows",
+    "profiled",
+    "profiling_enabled",
+    "read_trace",
+    "render_summary",
+    "reset_default_registry",
+    "shutdown",
+    "span",
+    "summarize_file",
+    "summarize_trace",
+    "tracing_enabled",
+    "validate_record",
+]
+
+
+class _PhaseContext:
+    """Span + profiling section opened together under one phase name."""
+
+    __slots__ = ("_name", "_attrs", "_span_cm", "_section_cm")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._span_cm = None
+        self._section_cm = None
+
+    def __enter__(self):
+        self._span_cm = trace.span(self._name, **self._attrs)
+        handle = self._span_cm.__enter__()
+        self._section_cm = profiling.profiled(self._name)
+        self._section_cm.__enter__()
+        return handle
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        try:
+            self._section_cm.__exit__(exc_type, exc, tb)
+        finally:
+            self._span_cm.__exit__(exc_type, exc, tb)
+        return False
+
+
+def phase(name: str, **attrs: Any):
+    """Open a traced + profiled phase; shared no-op when both are off."""
+    if not trace.tracing_enabled() and not profiling.profiling_enabled():
+        return trace._NULL_SPAN
+    return _PhaseContext(name, attrs)

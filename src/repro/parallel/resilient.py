@@ -57,6 +57,8 @@ from repro.errors import (
     TaskFailure,
     TaskTimeout,
 )
+from repro.obs import phase as _obs_phase
+from repro.obs.metrics import default_registry as _metrics
 from repro.parallel.executor import Executor, ProcessExecutor, SerialExecutor
 from repro.util.rng import stream_seed
 
@@ -158,7 +160,14 @@ class CheckpointJournal:
                 completed[rec["fp"]] = pickle.loads(base64.b64decode(rec["v"]))
             except Exception as exc:
                 if lineno == len(lines) - 1:
-                    break  # torn final write from a crash mid-record
+                    # Torn final write from a crash mid-record. Drop it from
+                    # the file too: the resumed run appends, and a record
+                    # written onto the torn fragment would merge into one
+                    # permanently unparseable line.
+                    self.path.write_text(
+                        "".join(kept + "\n" for kept in lines[:-1])
+                    )
+                    break
                 raise CheckpointError(
                     f"corrupt checkpoint journal {self.path} at line {lineno + 1}: {exc}"
                 ) from exc
@@ -369,34 +378,40 @@ class ResilientExecutor(Executor):
         n = len(items)
         if n == 0:
             return []
-        fps = [task_fingerprint(fn, i, item) for i, item in enumerate(items)]
-        results: list[Any] = [None] * n
-        done = [False] * n
+        with _obs_phase("executor.map", n_tasks=n,
+                        backend=type(self.inner).__name__) as sp:
+            fps = [task_fingerprint(fn, i, item) for i, item in enumerate(items)]
+            results: list[Any] = [None] * n
+            done = [False] * n
 
-        if self.journal is not None:
-            completed = self.journal.completed()
-            n_restored = 0
-            for i, fp in enumerate(fps):
-                if fp in completed:
-                    results[i] = completed[fp]
-                    done[i] = True
-                    n_restored += 1
-            if n_restored:
-                self.events.append(f"restored:{n_restored}")
+            if self.journal is not None:
+                completed = self.journal.completed()
+                n_restored = 0
+                for i, fp in enumerate(fps):
+                    if fp in completed:
+                        results[i] = completed[fp]
+                        done[i] = True
+                        n_restored += 1
+                if n_restored:
+                    self.events.append(f"restored:{n_restored}")
+                    _metrics().counter("executor.tasks.restored").inc(n_restored)
+                    sp.set(n_restored=n_restored)
 
-        pending = deque(_Pending(i) for i in range(n) if not done[i])
-        failures: list[TaskFailure] = []
-        if pending:
-            wrapped = _TaskCall(fn, self.injector)
-            if isinstance(self.inner, ProcessExecutor):
-                self._run_pool(wrapped, items, fps, pending, results, failures)
-            else:
-                self._run_serial(wrapped, items, fps, pending, results, failures)
+            pending = deque(_Pending(i) for i in range(n) if not done[i])
+            failures: list[TaskFailure] = []
+            if pending:
+                wrapped = _TaskCall(fn, self.injector)
+                if isinstance(self.inner, ProcessExecutor):
+                    self._run_pool(wrapped, items, fps, pending, results, failures)
+                else:
+                    self._run_serial(wrapped, items, fps, pending, results, failures)
 
-        if failures:
-            failures.sort(key=lambda f: f.index)
-            raise SweepAborted(n, results, failures, checkpointed=self.journal is not None)
-        return results
+            if failures:
+                failures.sort(key=lambda f: f.index)
+                sp.set(n_failures=len(failures))
+                raise SweepAborted(n, results, failures,
+                                   checkpointed=self.journal is not None)
+            return results
 
     def close(self) -> None:
         if self.journal is not None:
@@ -413,6 +428,7 @@ class ResilientExecutor(Executor):
 
     def _complete(self, index: int, fp: str, value: Any, results: list[Any]) -> None:
         results[index] = value
+        _metrics().counter("executor.tasks.completed").inc()
         if self.journal is not None:
             self.journal.record(fp, value)
 
@@ -428,11 +444,15 @@ class ResilientExecutor(Executor):
         if task.attempt < self.retry.max_attempts and self.retry.should_retry(exc):
             delay = self.retry.delay(task.attempt, stream_seed(self.seed, fps[task.index]))
             self.events.append(f"retry:{task.index}:{task.attempt}")
+            _metrics().counter("executor.retries").inc()
             pending.append(
                 _Pending(task.index, task.attempt + 1, time.monotonic() + delay)
             )
             return
         kind = "timeout" if isinstance(exc, TaskTimeout) else "exception"
+        _metrics().counter("executor.failures").inc()
+        if kind == "timeout":
+            _metrics().counter("executor.timeouts").inc()
         failures.append(TaskFailure(
             index=task.index,
             fingerprint=fps[task.index],
@@ -604,9 +624,11 @@ class ResilientExecutor(Executor):
                     rebuilds_left -= 1
                     pool.reset(kill=True)
                     self.events.append("pool-rebuild")
+                    _metrics().counter("executor.pool_rebuilds").inc()
                     continue
                 if self.fall_back_to_serial:
                     self.events.append("serial-downgrade")
+                    _metrics().counter("executor.serial_downgrades").inc()
                     ordered = deque(sorted(pending, key=lambda t: t.index))
                     pending.clear()
                     self._run_serial(wrapped, items, fps, ordered, results, failures)
@@ -642,3 +664,4 @@ class ResilientExecutor(Executor):
                     requeue_inflight()
                     pool.reset(kill=True)
                     self.events.append("timeout-reset")
+                    _metrics().counter("executor.timeout_resets").inc()

@@ -44,6 +44,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import phase as _obs_phase
 from repro.simulator.analytic import mispredict_rate, miss_rate, tlb_miss_rate
 from repro.simulator.config import KB, MicroarchConfig
 from repro.simulator.workloads import MemoryBehavior, WorkloadProfile
@@ -315,6 +316,7 @@ def sweep_design_space(
         resolved = method
         if resolved == "auto":
             resolved = "scalar" if executor is not None else "batch"
+        span.set(method=resolved)
         if resolved == "batch":
             if executor is not None:
                 return _batched_executor_sweep(
@@ -338,14 +340,20 @@ def sweep_design_space(
                 return np.array(ex.map(_eval_cycles, tasks))
         return np.array([_eval_cycles(t) for t in tasks])
 
-    if cache is None or cache is False:
-        return compute()
-    from repro.cache import default_cache
-    from repro.cache.fingerprint import code_version
-    from repro.simulator.batch import pack_design_space
+    with _obs_phase("sweep", app=profile.name, n_configs=len(configs)) as span:
+        if cache is None or cache is False:
+            return compute()
+        from repro.cache import default_cache
+        from repro.cache.fingerprint import code_version
+        from repro.simulator.batch import pack_design_space
 
-    store = default_cache() if cache is True else cache
-    key = ("sweep-cycles", code_version(), pack_design_space(configs).to_arrays(),
-           profile, float(n_instructions))
-    return np.array(store.get_or_compute(key, compute, kind="sweep-cycles"),
-                    dtype=np.float64)
+        store = default_cache() if cache is True else cache
+        key = ("sweep-cycles", code_version(), pack_design_space(configs).to_arrays(),
+               profile, float(n_instructions))
+        events_before = len(store.events)
+        cycles = np.array(store.get_or_compute(key, compute, kind="sweep-cycles"),
+                          dtype=np.float64)
+        fresh = store.events[events_before:]
+        if fresh:
+            span.set(cache="hit" if fresh[0].startswith("hit") else "miss")
+        return cycles

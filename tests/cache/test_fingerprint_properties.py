@@ -1,0 +1,170 @@
+"""Property-based tests for cache-key fingerprint stability.
+
+Two properties carry the whole caching design: a dict's fingerprint must not
+depend on insertion order (the same sweep request built two ways must hit the
+same cache entry), and any change to any leaf value must change the digest
+(a different request must never alias an existing entry).
+
+Runs under hypothesis when installed; falls back to a fixed seeded-random
+sweep otherwise, so the properties stay tested in minimal environments.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cache.fingerprint import stable_fingerprint
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    def seeds(n_examples: int = 50, max_seed: int = 10**6):
+        """Feed the test a shrinkable integer seed via hypothesis."""
+
+        def deco(fn):
+            return settings(max_examples=n_examples, deadline=None)(
+                given(st.integers(0, max_seed))(fn)
+            )
+
+        return deco
+
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+
+    def seeds(n_examples: int = 50, max_seed: int = 10**6):
+        """Fallback: a fixed, seeded sweep of random example seeds."""
+        picker = random.Random(20260806)
+        chosen = [picker.randrange(max_seed + 1) for _ in range(n_examples)]
+
+        def deco(fn):
+            return pytest.mark.parametrize("seed", chosen)(fn)
+
+        return deco
+
+
+def _random_leaf(rng: np.random.Generator):
+    """One random fingerprintable scalar."""
+    kind = rng.integers(0, 6)
+    if kind == 0:
+        return None
+    if kind == 1:
+        return bool(rng.integers(0, 2))
+    if kind == 2:
+        return int(rng.integers(-(10**12), 10**12))
+    if kind == 3:
+        return float(rng.normal() * 10.0 ** rng.integers(-6, 7))
+    if kind == 4:
+        n = int(rng.integers(0, 12))
+        return "".join(chr(97 + int(c)) for c in rng.integers(0, 26, size=n))
+    return bytes(rng.integers(0, 256, size=int(rng.integers(0, 8))).tolist())
+
+
+def _random_value(rng: np.random.Generator, depth: int = 0):
+    """A random nested value tree from the fingerprintable closure."""
+    if depth >= 3 or rng.random() < 0.4:
+        return _random_leaf(rng)
+    kind = rng.integers(0, 4)
+    n = int(rng.integers(0, 5))
+    if kind == 0:
+        return [_random_value(rng, depth + 1) for _ in range(n)]
+    if kind == 1:
+        return tuple(_random_value(rng, depth + 1) for _ in range(n))
+    if kind == 2:
+        return rng.normal(size=(int(rng.integers(1, 4)), int(rng.integers(1, 4))))
+    return {f"k{i}": _random_value(rng, depth + 1) for i in range(n)}
+
+
+def _random_dict(rng: np.random.Generator, min_size: int = 2) -> dict:
+    n = int(rng.integers(min_size, 8))
+    return {f"key{i}": _random_value(rng, depth=1) for i in range(n)}
+
+
+class TestPermutationInvariance:
+    @seeds()
+    def test_dict_insertion_order_is_irrelevant(self, seed):
+        rng = np.random.default_rng(seed)
+        d = _random_dict(rng)
+        items = list(d.items())
+        baseline = stable_fingerprint(d)
+        for _ in range(3):
+            shuffled = list(items)
+            rng.shuffle(shuffled)
+            assert stable_fingerprint(dict(shuffled)) == baseline
+
+    @seeds(n_examples=25)
+    def test_nested_dict_permutation_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        inner = _random_dict(rng)
+        outer = {"config": inner, "budget": 1000, "app": "gcc"}
+        reversed_outer = dict(reversed(list(outer.items())))
+        reversed_outer["config"] = dict(reversed(list(inner.items())))
+        assert stable_fingerprint(outer) == stable_fingerprint(reversed_outer)
+
+    @seeds(n_examples=25)
+    def test_sequences_are_order_sensitive(self, seed):
+        # The flip side: lists/tuples encode position, so a permuted
+        # sequence is a *different* value.
+        rng = np.random.default_rng(seed)
+        xs = [int(v) for v in rng.integers(0, 100, size=6)]
+        ys = list(reversed(xs))
+        if xs != ys:
+            assert stable_fingerprint(xs) != stable_fingerprint(ys)
+
+    @seeds(n_examples=25)
+    def test_repeated_hashing_is_stable(self, seed):
+        rng = np.random.default_rng(seed)
+        value = _random_value(rng)
+        assert stable_fingerprint(value) == stable_fingerprint(value)
+
+
+class TestValueSensitivity:
+    @seeds()
+    def test_changing_one_dict_value_changes_digest(self, seed):
+        rng = np.random.default_rng(seed)
+        d = {f"key{i}": int(v) for i, v in enumerate(rng.integers(0, 10**9, size=5))}
+        baseline = stable_fingerprint(d)
+        victim = f"key{int(rng.integers(0, 5))}"
+        mutated = dict(d)
+        mutated[victim] = d[victim] + 1
+        assert stable_fingerprint(mutated) != baseline
+
+    @seeds()
+    def test_changing_one_key_changes_digest(self, seed):
+        rng = np.random.default_rng(seed)
+        d = _random_dict(rng)
+        victim = f"key{int(rng.integers(0, len(d)))}"
+        mutated = dict(d)
+        mutated["renamed"] = mutated.pop(victim)
+        assert stable_fingerprint(mutated) != stable_fingerprint(d)
+
+    @seeds()
+    def test_array_perturbation_changes_digest(self, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.normal(size=(4, 3))
+        baseline = stable_fingerprint(arr)
+        bumped = arr.copy()
+        bumped[tuple(rng.integers(0, s) for s in arr.shape)] += 1.0
+        assert stable_fingerprint(bumped) != baseline
+        # ...while dtype and layout changes also matter.
+        assert stable_fingerprint(arr.astype(np.float32)) != baseline
+        assert stable_fingerprint(arr.ravel()) != baseline
+
+    @seeds(n_examples=25)
+    def test_numeric_type_distinctions_hold(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(0, 10**6))
+        digests = {
+            stable_fingerprint(n),
+            stable_fingerprint(float(n)),
+            stable_fingerprint(str(n)),
+        }
+        assert len(digests) == 3  # 1, 1.0, and "1" never alias
+
+    def test_bool_and_signed_zero_distinctions(self):
+        assert stable_fingerprint(True) != stable_fingerprint(1)
+        assert stable_fingerprint(0.0) != stable_fingerprint(-0.0)
+        # All NaN payloads canonicalize to one digest.
+        assert stable_fingerprint(float("nan")) == \
+            stable_fingerprint(np.float64("nan").item())

@@ -23,6 +23,16 @@ from repro.specdata import generate_family_records
 TEST_SEED = 1234
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the checked-in golden regression files from the "
+             "current code instead of comparing against them",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Fresh deterministic generator per test."""

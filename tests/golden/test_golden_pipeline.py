@@ -1,0 +1,120 @@
+"""Golden regression pin for the sampled-DSE pipeline.
+
+Runs one small but end-to-end scenario — gcc at 1% sampling, fixed seed,
+four models spanning both families — and compares the best-model selection
+and the full error table against a checked-in JSON file. Any change to the
+simulator, encoder, model fits, holdout estimation, or selection logic that
+moves a number shows up here as a diff against a reviewable artifact.
+
+When a change is *intended* (e.g. a deliberate model fix), regenerate with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and commit the updated ``golden_sampled_dse.json`` alongside the code, so
+the diff documents exactly which numbers moved and by how much.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.models import model_builders
+from repro.core.sampled import run_sampled_dse
+
+GOLDEN_PATH = Path(__file__).parent / "golden_sampled_dse.json"
+
+#: The pinned scenario. Changing any of these invalidates the golden file.
+SCENARIO = {
+    "app": "gcc",
+    "rate": 0.01,
+    "seed": 0,
+    "models": ["LR-B", "LR-E", "LR-S", "NN-Q"],
+    "n_cv_reps": 3,
+}
+
+#: Float comparisons are exact in spirit: the pipeline is deterministic, so
+#: only JSON round-tripping (repr precision) is forgiven.
+REL_TOL = 1e-9
+
+
+def _run_scenario(space_dataset) -> dict:
+    space = space_dataset(SCENARIO["app"])
+    builders = model_builders(tuple(SCENARIO["models"]))
+    result = run_sampled_dse(
+        space,
+        builders,
+        SCENARIO["rate"],
+        np.random.default_rng(SCENARIO["seed"]),
+        n_cv_reps=SCENARIO["n_cv_reps"],
+    )
+    return {
+        "scenario": SCENARIO,
+        "n_sampled": result.n_sampled,
+        "select_label": result.select_label,
+        "select_true_error": result.select_true_error,
+        "outcomes": {
+            label: {
+                "estimated_error_mean": outcome.estimated_error_mean,
+                "estimated_error_max": outcome.estimated_error_max,
+                "true_error": outcome.true_error,
+                "per_rep": list(outcome.estimate.per_rep),
+            }
+            for label, outcome in sorted(result.outcomes.items())
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def actual(space_dataset, request):
+    doc = _run_scenario(space_dataset)
+    if request.config.getoption("--update-golden"):
+        GOLDEN_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+@pytest.fixture(scope="module")
+def golden(actual):
+    # Depends on ``actual`` so an --update-golden run writes the file
+    # before any comparison (or provenance check) tries to read it.
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"golden file {GOLDEN_PATH} missing; generate it with "
+            "`pytest tests/golden --update-golden`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenSampledDse:
+    def test_scenario_matches_golden_provenance(self, golden):
+        assert golden["scenario"] == SCENARIO, (
+            "the golden file was generated for a different scenario; "
+            "rerun with --update-golden"
+        )
+
+    def test_sample_size_pinned(self, actual, golden):
+        assert actual["n_sampled"] == golden["n_sampled"]
+
+    def test_best_model_selection_pinned(self, actual, golden):
+        assert actual["select_label"] == golden["select_label"]
+        assert actual["select_true_error"] == pytest.approx(
+            golden["select_true_error"], rel=REL_TOL
+        )
+
+    def test_error_table_pinned(self, actual, golden):
+        assert set(actual["outcomes"]) == set(golden["outcomes"])
+        for label, got in actual["outcomes"].items():
+            want = golden["outcomes"][label]
+            for key in ("estimated_error_mean", "estimated_error_max", "true_error"):
+                assert got[key] == pytest.approx(want[key], rel=REL_TOL), \
+                    f"{label}.{key} drifted from golden"
+            assert got["per_rep"] == pytest.approx(want["per_rep"], rel=REL_TOL), \
+                f"{label} per-repetition holdout errors drifted from golden"
+
+    def test_rerun_is_deterministic(self, actual, space_dataset):
+        """The scenario itself must be a pure function of its seed."""
+        again = _run_scenario(space_dataset)
+        assert again == actual

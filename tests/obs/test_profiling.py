@@ -1,0 +1,74 @@
+"""Profiling hooks: opt-in gating, section totals, nested-section safety."""
+
+from __future__ import annotations
+
+from repro.obs import profiling
+from repro.obs.profiling import (
+    Profiler,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profiled,
+    profiling_enabled,
+)
+
+
+def _busy(n: int = 2_000) -> int:
+    return sum(i * i for i in range(n))
+
+
+class TestGating:
+    def test_disabled_by_default(self):
+        assert not profiling_enabled()
+        assert get_profiler() is None
+        assert profiled("sweep") is profiling._NULL_SECTION
+
+    def test_enable_disable_roundtrip(self):
+        p = enable_profiling()
+        assert profiling_enabled()
+        assert enable_profiling() is p  # idempotent
+        disable_profiling()
+        assert not profiling_enabled()
+
+
+class TestSections:
+    def test_sections_accumulate_calls_and_time(self):
+        p = enable_profiling()
+        for _ in range(3):
+            with profiled("train"):
+                _busy()
+        entry = p.sections["train"]
+        assert entry["calls"] == 3
+        assert entry["seconds"] > 0
+
+    def test_nested_sections_do_not_reenable_cprofile(self):
+        # cProfile.enable() while already profiling raises; the depth
+        # counter must make the inner section a wall-clock-only timer.
+        p = enable_profiling()
+        with profiled("sweep"):
+            with profiled("encode"):
+                _busy()
+        assert p.sections["sweep"]["calls"] == 1
+        assert p.sections["encode"]["calls"] == 1
+
+    def test_exception_still_records_section(self):
+        p = enable_profiling()
+        try:
+            with profiled("train"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert p.sections["train"]["calls"] == 1
+        assert not p._depth  # profiler released
+
+    def test_report_lists_sections_and_functions(self):
+        enable_profiling()
+        with profiled("sweep"):
+            _busy()
+        report = get_profiler().report(top=5)
+        assert "profiled sections" in report
+        assert "sweep" in report
+        assert "cumulative" in report  # pstats section present
+
+    def test_fresh_profiler_has_no_sections(self):
+        assert Profiler().sections == {}

@@ -1,0 +1,102 @@
+"""Trace summarization: aggregation, malformed-line tolerance, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.summarize import (
+    phase_rows,
+    read_trace,
+    render_summary,
+    summarize_file,
+    summarize_trace,
+)
+from repro.obs.trace import Tracer
+
+
+def _write_trace(path):
+    """A small two-phase trace with one error span and one event."""
+    tracer = Tracer(path=path)
+    with tracer.span("sweep", app="gcc"):
+        with tracer.span("encode"):
+            pass
+        with tracer.span("encode"):
+            pass
+    with pytest.raises(ValueError):
+        with tracer.span("train", model="NN-Q"):
+            raise ValueError("diverged")
+    tracer.annotate("cache-snapshot", hits=1)
+    tracer.close()
+
+
+class TestReadTrace:
+    def test_reads_valid_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        records, malformed = read_trace(path)
+        assert malformed == 0
+        assert len(records) == 5  # 4 spans + 1 event
+
+    def test_malformed_lines_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        with open(path, "a") as fh:
+            fh.write("{not json at all\n")
+            fh.write(json.dumps({"schema": "wrong/1"}) + "\n")
+            fh.write("\n")  # blank lines are not malformed
+        records, malformed = read_trace(path)
+        assert len(records) == 5
+        assert malformed == 2
+
+
+class TestSummarize:
+    def test_phase_aggregation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        summary = summarize_trace(*read_trace(path))
+        assert summary.n_spans == 4
+        assert summary.n_events == 1
+        encode = summary.phase("encode")
+        assert encode.count == 2
+        assert encode.total_s == pytest.approx(encode.mean_s * 2)
+        assert encode.min_s <= encode.max_s
+        assert summary.phase("train").errors == 1
+        assert summary.phase("sweep").errors == 0
+        with pytest.raises(KeyError):
+            summary.phase("no-such-phase")
+
+    def test_phases_sorted_hottest_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        summary = summarize_trace(*read_trace(path))
+        totals = [p.total_s for p in summary.phases]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_render_and_summarize_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        text = summarize_file(path)
+        assert str(path) in text
+        assert "4 spans, 1 events" in text
+        for phase in ("sweep", "encode", "train"):
+            assert phase in text
+
+    def test_render_reports_malformed_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        with open(path, "a") as fh:
+            fh.write("garbage\n")
+        summary = summarize_trace(*read_trace(path))
+        assert "1 malformed lines skipped" in render_summary(summary)
+
+    def test_phase_rows_json_friendly(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        _write_trace(path)
+        rows = phase_rows(summarize_trace(*read_trace(path)))
+        assert {r["phase"] for r in rows} == {"sweep", "encode", "train"}
+        json.dumps(rows)  # must serialize as-is
+        for row in rows:
+            assert set(row) == {"phase", "count", "total_s", "mean_s",
+                                "min_s", "max_s", "errors"}
