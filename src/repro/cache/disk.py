@@ -69,7 +69,7 @@ class DiskStore:
     def _discard(path: Path) -> None:
         try:
             path.unlink()
-        except OSError:  # pragma: no cover - already gone / read-only store
+        except OSError:  # noqa: S110  # pragma: no cover - already gone / read-only store
             pass
 
     def put(self, key: str, value: Any) -> None:
@@ -87,10 +87,10 @@ class DiskStore:
             except BaseException:
                 try:
                     os.unlink(tmp)
-                except OSError:
+                except OSError:  # noqa: S110 - best-effort tmp cleanup before re-raise
                     pass
                 raise
-        except OSError:  # pragma: no cover - disk full / permission denied
+        except OSError:  # noqa: S110  # pragma: no cover - disk full / permission denied
             pass
 
     def _entries(self) -> Iterator[Path]:

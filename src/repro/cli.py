@@ -19,6 +19,23 @@ Subcommands
 ``obs``
     Observability utilities: ``repro obs summarize trace.jsonl`` renders a
     per-phase time/error breakdown of a recorded trace.
+``doctor``
+    Environment self-check: Python/numpy versions, cache-dir writability,
+    shared-memory availability, seed reproducibility. Exits nonzero when
+    any check fails.
+
+Robustness
+----------
+``sampled-dse`` and ``chronological`` accept ``--robust`` (train through
+the :mod:`repro.robust` degradation ladder: numerical failures and gate
+rejections fall back NN-E → NN-Q → LR-S → LR-E → mean baseline instead of
+aborting) and ``--gate-max-error PCT`` (holdout-error bound for the
+validation gate; implies ``--robust``). ``chronological`` additionally
+accepts ``--records CSV`` for guarded ingest of an external announcement
+archive — malformed rows are quarantined (report via
+``--quarantine-report PATH``) rather than aborting the run. Data-integrity
+failures exit 7, numerical failures 8, gate failures 9, and an exhausted
+ladder 10.
 
 Observability
 -------------
@@ -130,6 +147,30 @@ def _add_cache(p: argparse.ArgumentParser) -> None:
                         "the REPRO_CACHE_DIR environment variable)")
 
 
+def _add_robust(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("robustness")
+    g.add_argument("--robust", action="store_true",
+                   help="train through the degradation ladder: numerical "
+                        "failures and gate rejections fall back "
+                        "NN-E > NN-Q > LR-S > LR-E > mean baseline instead "
+                        "of aborting (clean runs are bit-identical)")
+    g.add_argument("--gate-max-error", type=float, default=None, metavar="PCT",
+                   help="holdout-error bound for the validation gate "
+                        "(implies --robust; default 500)")
+
+
+def _make_ladder(args: argparse.Namespace):
+    """Build the degradation ladder the robustness flags describe (or None)."""
+    if not (getattr(args, "robust", False)
+            or getattr(args, "gate_max_error", None) is not None):
+        return None
+    from repro.robust import ValidationGate, default_ladder
+
+    bound = args.gate_max_error if args.gate_max_error is not None else 500.0
+    return default_ladder(seed=args.seed,
+                          gate=ValidationGate(max_holdout_error=bound))
+
+
 def _add_resilience(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("fault tolerance")
     g.add_argument("--parallel", action="store_true",
@@ -199,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALL_MODELS))
     p.add_argument("--cv-reps", type=int, default=5)
     _add_common(p)
+    _add_robust(p)
     _add_resilience(p)
     _add_cache(p)
     _add_obs(p)
@@ -211,7 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(ALL_MODELS))
     p.add_argument("--target", default="specint_rate",
                    help="specint_rate, specfp_rate, or app:<name>")
+    p.add_argument("--records", default=None, metavar="CSV",
+                   help="load announcement records from CSV through the "
+                        "guarded ingest path (malformed rows are quarantined, "
+                        "not fatal) instead of generating them")
+    p.add_argument("--quarantine-report", default=None, metavar="PATH",
+                   help="with --records: append the quarantine report "
+                        "(JSONL) to PATH")
     _add_common(p)
+    _add_robust(p)
     _add_resilience(p)
     _add_cache(p)
     _add_obs(p)
@@ -239,6 +289,11 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="render a per-phase time/error breakdown of a trace")
     sp.add_argument("trace", metavar="TRACE.JSONL",
                     help="trace file recorded with --trace-file")
+
+    sub.add_parser(
+        "doctor",
+        help="check the environment (python/numpy, cache dir, shared "
+             "memory, seed reproducibility); nonzero exit on failure")
 
     return parser
 
@@ -283,23 +338,46 @@ def _cmd_sampled_dse(args: argparse.Namespace) -> int:
                                     cache=not args.no_cache))
     builders = model_builders(tuple(args.models), seed=args.seed)
     rng = np.random.default_rng(args.seed)
+    ladder = _make_ladder(args)
     with _make_executor(args) as ex:
         results = run_rate_sweep(space, builders, args.rates, rng,
-                                 n_cv_reps=args.cv_reps, executor=ex)
+                                 n_cv_reps=args.cv_reps, executor=ex,
+                                 ladder=ladder)
     print(figure_sampled_series(args.app, results, args.models))
+    _report_degradations(o for res in results for o in res.outcomes.values())
     return 0
 
 
+def _report_degradations(outcomes) -> None:
+    """One stderr line per ladder degradation, so they never pass silently."""
+    for o in outcomes:
+        if getattr(o, "degraded", False):
+            print(f"repro: degraded: {o.label} -> {o.deployed}", file=sys.stderr)
+
+
 def _cmd_chronological(args: argparse.Namespace) -> int:
-    records = generate_family_records(args.family, seed=args.seed)
+    if args.records is not None:
+        from repro.robust import read_records_checked
+
+        records, report = read_records_checked(
+            args.records, report_path=args.quarantine_report)
+        if report.n_quarantined:
+            print(f"repro: {report.summary()}", file=sys.stderr)
+        records = [r for r in records if r.family == args.family]
+    else:
+        records = generate_family_records(args.family, seed=args.seed)
     builders = model_builders(tuple(args.models), seed=args.seed)
+    ladder = _make_ladder(args)
     with _make_executor(args) as ex:
         result = run_chronological(
             args.family, builders, args.train_year, args.test_year,
             seed=args.seed, target=args.target, records=records, executor=ex,
+            ladder=ladder,
         )
     print(figure_chronological_table(result))
     print(f"\nbest: {result.best_label} at {result.best_error:.2f}%")
+    for requested, got in result.degraded_labels().items():
+        print(f"repro: degraded: {requested} -> {got}", file=sys.stderr)
     return 0
 
 
@@ -354,6 +432,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(f"cleared {dropped.get('disk', 0)} disk entr"
           f"{'y' if dropped.get('disk', 0) == 1 else 'ies'} at {where}")
     return 0
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.robust import run_doctor
+
+    report = run_doctor()
+    report.render()
+    return report.exit_code
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -415,6 +501,7 @@ _COMMANDS = {
     "importance": _cmd_importance,
     "cache": _cmd_cache,
     "obs": _cmd_obs,
+    "doctor": _cmd_doctor,
 }
 
 

@@ -10,11 +10,12 @@ year; Table 2 reports the best model per family.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
+from repro.errors import DataIntegrityError
 from repro.ml.dataset import Dataset
 from repro.ml.metrics import ErrorSummary, summarize_errors
 from repro.ml.selection import ErrorEstimate, ModelBuilder, estimate_error
@@ -22,6 +23,9 @@ from repro.obs import phase as _obs_phase
 from repro.parallel.executor import Executor, default_executor
 from repro.specdata.generator import generate_family_records
 from repro.specdata.schema import SystemRecord, records_to_dataset
+
+if TYPE_CHECKING:  # import cycle: repro.robust.ladder imports core.models
+    from repro.robust.ladder import DegradationLadder
 
 __all__ = ["ChronologicalResult", "run_chronological", "run_rolling_chronological", "chronological_datasets"]
 
@@ -37,6 +41,13 @@ class ChronologicalResult:
     n_test: int
     errors: Mapping[str, ErrorSummary]       # per-model test errors
     estimates: Mapping[str, ErrorEstimate]   # per-model CV estimates on train
+    #: requested label -> actually deployed label; populated only when a
+    #: degradation ladder handled the fits (empty mapping otherwise).
+    deployed: Mapping[str, str] = field(default_factory=dict)
+
+    def degraded_labels(self) -> dict[str, str]:
+        """Labels whose deployment differs from the request (ladder walks)."""
+        return {k: v for k, v in self.deployed.items() if k != v}
 
     @property
     def best_label(self) -> str:
@@ -67,10 +78,14 @@ def chronological_datasets(
     recs = list(records) if records is not None else generate_family_records(family, seed=seed)
     train = [r for r in recs if r.year == train_year]
     test = [r for r in recs if r.year == test_year]
+    # DataIntegrityError subclasses ValueError, so legacy callers that
+    # catch ValueError keep working while the CLI gets a typed exit code.
     if not train:
-        raise ValueError(f"{family}: no records in training year {train_year}")
+        raise DataIntegrityError(
+            f"{family}: no records in training year {train_year}")
     if not test:
-        raise ValueError(f"{family}: no records in test year {test_year}")
+        raise DataIntegrityError(
+            f"{family}: no records in test year {test_year}")
     return records_to_dataset(train, target), records_to_dataset(test, target)
 
 
@@ -85,6 +100,7 @@ def run_chronological(
     target: str = "specint_rate",
     records: Sequence[SystemRecord] | None = None,
     executor: Executor | None = None,
+    ladder: "DegradationLadder | None" = None,
 ) -> ChronologicalResult:
     """Run the Figure-1b workflow for one family.
 
@@ -92,7 +108,10 @@ def run_chronological(
     measured on ``test_year``. CV estimates on the training year are also
     computed (the paper uses them to pick the deployment model before the
     future data exists). ``executor`` fans out the holdout fits without
-    changing any number (shared randomness stays in this driver).
+    changing any number (shared randomness stays in this driver). With a
+    ``ladder``, numerical failures and gate rejections degrade each model
+    down the fallback chain instead of aborting the family; clean fits are
+    bit-identical to a ladder-less run.
     """
     if not builders:
         raise ValueError("no model builders given")
@@ -101,16 +120,28 @@ def run_chronological(
     train, test = chronological_datasets(
         family, train_year, test_year, seed=seed, target=target, records=records
     )
+    if train.n_records < 2:
+        raise DataIntegrityError(
+            f"{family}: training year {train_year} has {train.n_records} "
+            f"record(s); at least 2 are required for holdout estimation")
     errors: dict[str, ErrorSummary] = {}
     estimates: dict[str, ErrorEstimate] = {}
+    deployed: dict[str, str] = {}
     with _obs_phase("chronological", family=family, train_year=train_year,
                     test_year=test_year, n_models=len(builders)):
         for label, builder in builders.items():
-            estimates[label] = estimate_error(builder, train, rng, n_reps=n_cv_reps,
-                                              executor=executor)
-            model = builder()
-            with _obs_phase("train", model=label, n_records=train.n_records):
-                model.fit(train)
+            if ladder is not None:
+                model, estimates[label], walk = ladder.fit_model(
+                    label, builder, train, rng, n_cv_reps=n_cv_reps,
+                    executor=executor)
+                deployed[label] = walk.deployed
+            else:
+                estimates[label] = estimate_error(builder, train, rng,
+                                                  n_reps=n_cv_reps,
+                                                  executor=executor)
+                model = builder()
+                with _obs_phase("train", model=label, n_records=train.n_records):
+                    model.fit(train)
             with _obs_phase("predict", model=label, n_records=test.n_records):
                 predictions = model.predict(test)
             errors[label] = summarize_errors(predictions, test.target)
@@ -122,6 +153,7 @@ def run_chronological(
         n_test=test.n_records,
         errors=errors,
         estimates=estimates,
+        deployed=deployed,
     )
 
 

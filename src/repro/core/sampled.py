@@ -15,7 +15,7 @@ its true error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
@@ -24,6 +24,9 @@ from repro.ml.selection import ErrorEstimate, ModelBuilder, estimate_error
 from repro.obs import phase as _obs_phase
 from repro.parallel.executor import Executor, default_executor
 from repro.util.stats import mean_absolute_percentage_error
+
+if TYPE_CHECKING:  # import cycle: repro.robust.ladder imports core.models
+    from repro.robust.ladder import DegradationLadder
 
 __all__ = ["ModelOutcome", "SampledDseResult", "run_sampled_dse", "run_rate_sweep", "sampling_counts"]
 
@@ -35,6 +38,13 @@ class ModelOutcome:
     label: str
     estimate: ErrorEstimate
     true_error: float
+    #: Model actually deployed for this label. Differs from ``label`` only
+    #: when a degradation ladder stepped in (``None``: no ladder in play).
+    deployed: str | None = None
+
+    @property
+    def degraded(self) -> bool:
+        return self.deployed is not None and self.deployed != self.label
 
     @property
     def estimated_error_max(self) -> float:
@@ -78,6 +88,7 @@ def run_sampled_dse(
     n_cv_reps: int = 5,
     select_statistic: str = "max",
     executor: Executor | None = None,
+    ladder: "DegradationLadder | None" = None,
 ) -> SampledDseResult:
     """Run the Figure-1a workflow at one sampling rate.
 
@@ -101,6 +112,14 @@ def run_sampled_dse(
         bit-identical with and without an executor — and a
         :class:`repro.parallel.ResilientExecutor` adds retry, timeout, and
         checkpoint/resume behaviour without changing the numbers.
+    ladder:
+        Optional :class:`~repro.robust.ladder.DegradationLadder`. When set,
+        each model is trained through the ladder: numerical failures and
+        gate rejections degrade to the next rung instead of aborting, and
+        :attr:`ModelOutcome.deployed` records what actually ran. A model
+        that trains cleanly and passes its gate takes the exact same code
+        path (and RNG draws) as without a ladder, so clean runs are
+        bit-identical.
     """
     if not builders:
         raise ValueError("no model builders given")
@@ -111,16 +130,23 @@ def run_sampled_dse(
 
         outcomes: dict[str, ModelOutcome] = {}
         for label, builder in builders.items():
-            estimate = estimate_error(builder, sample, rng, n_reps=n_cv_reps,
-                                      executor=executor)
-            model = builder()
-            with _obs_phase("train", model=label, n_records=sample.n_records):
-                model.fit(sample)
+            deployed: str | None = None
+            if ladder is not None:
+                model, estimate, walk = ladder.fit_model(
+                    label, builder, sample, rng, n_cv_reps=n_cv_reps,
+                    executor=executor)
+                deployed = walk.deployed
+            else:
+                estimate = estimate_error(builder, sample, rng, n_reps=n_cv_reps,
+                                          executor=executor)
+                model = builder()
+                with _obs_phase("train", model=label, n_records=sample.n_records):
+                    model.fit(sample)
             with _obs_phase("predict", model=label, n_records=space.n_records):
                 predictions = model.predict(space)
             true_err = mean_absolute_percentage_error(predictions, space.target)
             outcomes[label] = ModelOutcome(label=label, estimate=estimate,
-                                           true_error=true_err)
+                                           true_error=true_err, deployed=deployed)
 
         select_label = min(
             outcomes, key=lambda k: outcomes[k].estimate.value(select_statistic)
@@ -142,19 +168,21 @@ def run_rate_sweep(
     n_cv_reps: int = 5,
     executor: Executor | None = None,
     parallel: bool | None = None,
+    ladder: "DegradationLadder | None" = None,
 ) -> list[SampledDseResult]:
     """Run the workflow across sampling rates (the x-axis of Figures 2-6).
 
     Pass an ``executor`` to fan out (and make resilient) the per-rate model
     fits, or set ``parallel`` to let the sweep create — and always close —
-    a :func:`repro.parallel.default_executor` itself.
+    a :func:`repro.parallel.default_executor` itself. ``ladder`` is passed
+    through to :func:`run_sampled_dse`.
     """
     if executor is None and parallel is not None:
         with default_executor(len(rates) * len(builders) * n_cv_reps, parallel) as ex:
             return run_rate_sweep(space, builders, rates, rng,
-                                  n_cv_reps=n_cv_reps, executor=ex)
+                                  n_cv_reps=n_cv_reps, executor=ex, ladder=ladder)
     return [
         run_sampled_dse(space, builders, rate, rng, n_cv_reps=n_cv_reps,
-                        executor=executor)
+                        executor=executor, ladder=ladder)
         for rate in rates
     ]

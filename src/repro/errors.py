@@ -12,6 +12,19 @@ tracebacks:
   work (typically also checkpointed) is never thrown away.
 * :class:`CheckpointError` — a checkpoint journal is unreadable or corrupt.
 
+The modeling layer adds its own failure modes (see :mod:`repro.robust`):
+
+* :class:`DataIntegrityError` — input rows failed schema/range/integrity
+  validation beyond what quarantine can absorb. Subclasses ``ValueError``
+  too, so legacy ``except ValueError`` call sites keep working.
+* :class:`NumericalError` — a numerical routine failed (ill-conditioned
+  least squares, divergent NN training); carries a machine-readable
+  ``cause`` slug plus a ``context`` dict for triage.
+* :class:`ModelValidationError` — a trained model failed its post-training
+  sanity gates (non-finite predictions, holdout error out of bounds).
+* :class:`DegradationExhausted` — every rung of a fallback ladder failed,
+  including the mean baseline; no trustworthy model could be deployed.
+
 Each class carries a distinct ``exit_code`` that :func:`repro.cli.main`
 returns, so shell scripts can distinguish "a task timed out" from "the
 journal is corrupt" without scraping stderr.
@@ -20,7 +33,7 @@ journal is corrupt" without scraping stderr.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 __all__ = [
     "ReproError",
@@ -28,6 +41,10 @@ __all__ = [
     "TaskTimeout",
     "SweepAborted",
     "CheckpointError",
+    "DataIntegrityError",
+    "NumericalError",
+    "ModelValidationError",
+    "DegradationExhausted",
     "InjectedFault",
     "TaskFailure",
 ]
@@ -115,6 +132,69 @@ class CheckpointError(ReproError):
     """A checkpoint journal could not be read or is corrupt."""
 
     exit_code = 6
+
+
+class DataIntegrityError(ReproError, ValueError):
+    """Input data failed schema/range/integrity validation.
+
+    Raised when corrupt rows cannot (or may not) be quarantined away: the
+    whole file is unreadable, every row is bad, or the quarantined fraction
+    exceeds the caller's tolerance. ``report`` (when present) is the
+    :class:`repro.robust.QuarantineReport` describing exactly which rows
+    were rejected and why.
+
+    Also a ``ValueError`` so pre-existing call sites that guarded ingest
+    with ``except ValueError`` keep catching it.
+    """
+
+    exit_code = 7
+
+    def __init__(self, message: str, report: object | None = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A numerical routine failed in a detectable way.
+
+    ``cause`` is a stable machine-readable slug (``"lsq-non-finite"``,
+    ``"nn-divergence"``, ``"nn-restarts-exhausted"``, ``"prune-non-finite"``,
+    ...) and ``context`` carries the numbers behind the diagnosis
+    (condition number, epoch, loss, attempts) for structured logging.
+    """
+
+    exit_code = 8
+
+    def __init__(self, message: str, cause: str = "unknown",
+                 context: Mapping[str, object] | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+        self.context: dict[str, object] = dict(context or {})
+
+
+class ModelValidationError(ReproError):
+    """A trained model failed its post-training sanity gates.
+
+    ``failures`` lists the human-readable reasons from the
+    :class:`repro.robust.ValidationGate` checks that did not pass.
+    """
+
+    exit_code = 9
+
+    def __init__(self, message: str, failures: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.failures = list(failures)
+
+
+class DegradationExhausted(ModelValidationError):
+    """Every rung of a degradation ladder failed, including the baseline.
+
+    Subtype of :class:`ModelValidationError` so generic gate-failure
+    handlers still catch it; the distinct exit code flags that not even
+    the mean baseline produced an acceptable model.
+    """
+
+    exit_code = 10
 
 
 class InjectedFault(RuntimeError):

@@ -20,6 +20,8 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.util.validation import require_finite as _check_finite
+
 __all__ = ["ColumnRole", "Column", "Dataset"]
 
 
@@ -29,21 +31,6 @@ class ColumnRole(Enum):
     NUMERIC = "numeric"
     FLAG = "flag"
     CATEGORICAL = "categorical"
-
-
-def _check_finite(values: np.ndarray, what: str) -> None:
-    """Reject NaN/Inf with a message naming the field and first bad record.
-
-    Non-finite training values would not crash the fitters — they would
-    silently poison every downstream coefficient — so construction is the
-    one place they are caught.
-    """
-    bad = ~np.isfinite(values)
-    if bad.any():
-        raise ValueError(
-            f"{what} contains {int(bad.sum())} non-finite value(s) (NaN/Inf), "
-            f"first at record {int(np.argmax(bad))}"
-        )
 
 
 @dataclass(frozen=True)

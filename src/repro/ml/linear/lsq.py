@@ -7,16 +7,32 @@ Forward/Backward/Stepwise predictor selection.
 
 Everything operates on plain design matrices; the intercept column is
 managed internally so callers pass predictor matrices only.
+
+Numerical robustness (see :mod:`repro.robust`): every fit records the
+design's condition number (free — it falls out of the singular values
+``lstsq`` already computes) and, when the primary solve produces non-finite
+coefficients or the LAPACK driver fails to converge, walks a ridge → pinv
+fallback chain before giving up with a typed
+:class:`~repro.errors.NumericalError`. The primary path is untouched, so
+clean inputs produce bit-identical coefficients.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import stats as sps
 
-__all__ = ["OlsFit", "fit_ols", "partial_f_pvalue"]
+from repro.errors import NumericalError
+from repro.obs.metrics import default_registry as _metrics
+
+__all__ = ["OlsFit", "fit_ols", "partial_f_pvalue", "COND_ILL_THRESHOLD"]
+
+#: Condition number beyond which a design is reported as ill-conditioned
+#: (float64 has ~15.9 significant digits; past 1e12 the normal-equation
+#: covariance is numerically meaningless).
+COND_ILL_THRESHOLD = 1e12
 
 
 @dataclass(frozen=True)
@@ -51,6 +67,22 @@ class OlsFit:
     p_values: np.ndarray
     df_resid: int
     n_obs: int
+    #: Condition number of the intercept-augmented design (sigma_max /
+    #: sigma_min; inf when numerically singular, nan when unknown).
+    condition_number: float = field(default=float("nan"), compare=False)
+    #: Which solver produced the coefficients: "lstsq" (primary), "ridge",
+    #: or "pinv" (fallback chain, engaged only on numerical failure).
+    solver: str = field(default="lstsq", compare=False)
+
+    @property
+    def ill_conditioned(self) -> bool:
+        """True when the design's condition number exceeds the threshold.
+
+        ``nan`` (condition unknown) reads as False; ``inf`` (numerically
+        singular) reads as True.
+        """
+        cond = self.condition_number
+        return bool(np.isinf(cond) or cond > COND_ILL_THRESHOLD)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Evaluate the fitted linear function on rows of ``X``."""
@@ -66,6 +98,71 @@ def _design(X: np.ndarray) -> np.ndarray:
     """Prepend the intercept column."""
     n = X.shape[0]
     return np.hstack([np.ones((n, 1)), X])
+
+
+def _condition_from_singular_values(sv: np.ndarray) -> float:
+    """sigma_max / sigma_min from lstsq's singular values (inf if singular)."""
+    if sv is None or sv.size == 0:
+        return float("nan")
+    smin = float(sv[-1])
+    return float(sv[0]) / smin if smin > 0.0 else float("inf")
+
+
+def _solve_design(A: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, int, float, str]:
+    """Solve ``min ||A b - y||`` with a ridge → pinv fallback chain.
+
+    Returns ``(beta, rank, condition_number, solver)``. The primary
+    ``lstsq`` path is tried first and, when it yields finite coefficients
+    (the overwhelmingly common case), is returned untouched — the fallbacks
+    exist for designs whose SVD fails to converge or whose minimum-norm
+    solution comes back non-finite. Each fallback engagement is counted
+    under ``robust.lsq.fallback.<solver>``; total failure raises a typed
+    :class:`~repro.errors.NumericalError` instead of letting NaN
+    coefficients poison every downstream prediction.
+    """
+    n, p1 = A.shape
+    cond = float("nan")
+    try:
+        beta, _, rank, sv = np.linalg.lstsq(A, y, rcond=None)
+        cond = _condition_from_singular_values(sv)
+    except np.linalg.LinAlgError:
+        # SVD did not converge; fall through to the ridge solve.
+        beta, rank = np.full(p1, np.nan), p1
+    if np.all(np.isfinite(beta)):
+        if np.isinf(cond) or cond > COND_ILL_THRESHOLD:
+            _metrics().counter("robust.lsq.ill_conditioned").inc()
+        return beta, int(rank), cond, "lstsq"
+
+    # Ridge: a tiny Tikhonov term (scaled to the design's energy) restores
+    # positive-definiteness; the intercept column is penalized too, which is
+    # acceptable for a rescue path.
+    gram = A.T @ A
+    lam = 1e-8 * max(float(np.trace(gram)) / p1, 1.0)
+    try:
+        beta = np.linalg.solve(gram + lam * np.eye(p1), A.T @ y)
+    except np.linalg.LinAlgError:
+        beta = np.full(p1, np.nan)
+    if np.all(np.isfinite(beta)):
+        _metrics().counter("robust.lsq.fallback.ridge").inc()
+        return beta, p1, cond, "ridge"
+
+    # Pseudo-inverse: the last resort, with an explicit cutoff.
+    try:
+        beta = np.linalg.pinv(A, rcond=1e-10) @ y
+    except np.linalg.LinAlgError:
+        beta = np.full(p1, np.nan)
+    if np.all(np.isfinite(beta)):
+        _metrics().counter("robust.lsq.fallback.pinv").inc()
+        return beta, p1, cond, "pinv"
+
+    _metrics().counter("robust.lsq.failures").inc()
+    raise NumericalError(
+        f"least-squares solve produced non-finite coefficients for a "
+        f"{n}x{p1 - 1} design (condition number {cond:.3g}); "
+        f"ridge and pinv fallbacks also failed",
+        cause="lsq-non-finite",
+        context={"n_obs": n, "n_predictors": p1 - 1, "condition_number": cond},
+    )
 
 
 def fit_ols(X: np.ndarray, y: np.ndarray) -> OlsFit:
@@ -84,9 +181,17 @@ def fit_ols(X: np.ndarray, y: np.ndarray) -> OlsFit:
         raise ValueError(f"X has {n} rows but y has {y.shape[0]}")
     if n == 0:
         raise ValueError("cannot fit on zero observations")
+    if not (np.all(np.isfinite(X)) and np.all(np.isfinite(y))):
+        # NaN/Inf inputs would yield NaN coefficients from every solver in
+        # the chain; fail with the real diagnosis instead.
+        raise NumericalError(
+            "design matrix or response contains non-finite values (NaN/Inf)",
+            cause="non-finite-input",
+            context={"n_obs": n, "n_predictors": p},
+        )
 
     A = _design(X)
-    beta_full, _, rank, _ = np.linalg.lstsq(A, y, rcond=None)
+    beta_full, rank, cond, solver = _solve_design(A, y)
     resid = y - A @ beta_full
     sse = float(resid @ resid)
     centered = y - y.mean()
@@ -125,6 +230,8 @@ def fit_ols(X: np.ndarray, y: np.ndarray) -> OlsFit:
         p_values=p_values,
         df_resid=int(df_resid),
         n_obs=n,
+        condition_number=cond,
+        solver=solver,
     )
 
 

@@ -20,11 +20,14 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.errors import NumericalError
 from repro.ml.base import PredictiveModel
 from repro.ml.dataset import Dataset
 from repro.ml.nn.importance import input_importances
 from repro.ml.nn.methods import NN_METHODS, NnBuild
 from repro.ml.preprocess import Encoder
+from repro.obs.metrics import default_registry as _metrics
+from repro.util.rng import stream_seed
 
 __all__ = ["NeuralNetworkModel", "TargetScaler"]
 
@@ -71,14 +74,24 @@ class NeuralNetworkModel(PredictiveModel):
         ``"exhaustive"`` | ``"single"``.
     seed:
         Seed for weight initialization and internal validation splits.
+    max_restarts:
+        Bounded seeded restarts on training divergence: when the training
+        method raises a :class:`~repro.errors.NumericalError` (NaN or
+        exploding loss), the build is retried up to this many times with a
+        fresh generator derived from ``(seed, "nn-restart", attempt)``.
+        Attempt 0 always uses ``default_rng(seed)``, so a run that never
+        diverges is bit-identical to one with restarts disabled.
     """
 
-    def __init__(self, method: str = "quick", seed: int = 0) -> None:
+    def __init__(self, method: str = "quick", seed: int = 0, max_restarts: int = 2) -> None:
         if method not in NN_METHODS:
             raise ValueError(f"method must be one of {sorted(NN_METHODS)}, got {method!r}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
         self.method = method
         self.name = NN_METHODS[method][0]
         self.seed = seed
+        self.max_restarts = max_restarts
         self._encoder: Encoder | None = None
         self._scaler: TargetScaler | None = None
         self._build: NnBuild | None = None
@@ -90,9 +103,29 @@ class NeuralNetworkModel(PredictiveModel):
         X = encoder.fit_transform(train)
         scaler = TargetScaler().fit(train.target)
         y = scaler.transform(train.target)
-        rng = np.random.default_rng(self.seed)
         builder = NN_METHODS[self.method][1]
-        self._build = builder(X, y, rng)
+        last: NumericalError | None = None
+        for attempt in range(1 + self.max_restarts):
+            rng = np.random.default_rng(
+                self.seed if attempt == 0
+                else stream_seed(self.seed, "nn-restart", attempt)
+            )
+            try:
+                self._build = builder(X, y, rng)
+                break
+            except NumericalError as exc:
+                last = exc
+                _metrics().counter("robust.nn.restarts").inc()
+        else:
+            assert last is not None
+            raise NumericalError(
+                f"{self.name} training diverged on all "
+                f"{1 + self.max_restarts} seeded attempt(s); last cause: "
+                f"{last.cause}",
+                cause="nn-restarts-exhausted",
+                context={"attempts": 1 + self.max_restarts, "seed": self.seed,
+                         "last_cause": last.cause, **last.context},
+            ) from last
         self._encoder = encoder
         self._scaler = scaler
         self._train_X = X

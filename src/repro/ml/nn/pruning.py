@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import NumericalError
 from repro.ml.nn.network import MLP
 from repro.ml.nn.training import TrainingConfig, train
 
@@ -100,6 +101,14 @@ def prune_network(
     """
     best = net.clone()
     best_val = best.loss(X_val, y_val)
+    if not np.isfinite(best_val):
+        # A non-finite starting loss means the network to prune is already
+        # broken; pruning would "accept" every removal against a NaN bound.
+        raise NumericalError(
+            "cannot prune a network with non-finite validation loss",
+            cause="prune-non-finite",
+            context={"val_loss": float(best_val)},
+        )
     removed_hidden = 0
     removed_inputs = 0
     steps: list[str] = []

@@ -25,7 +25,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import NumericalError
 from repro.ml.nn.network import MLP
+from repro.obs.metrics import default_registry as _metrics
 
 __all__ = ["TrainingConfig", "TrainingResult", "train", "holdout_split"]
 
@@ -52,6 +54,12 @@ class TrainingConfig:
         (ignored when no validation set is provided).
     min_delta:
         Minimum relative improvement that resets patience.
+    divergence_factor:
+        Training is declared divergent — a typed
+        :class:`~repro.errors.NumericalError` with cause ``nn-divergence``
+        — when the loss goes NaN/Inf or exceeds
+        ``divergence_factor × max(first loss, 1)``. Clean runs never get
+        near the bound, so detection changes no numbers.
     """
 
     optimizer: str = "rprop"
@@ -65,6 +73,7 @@ class TrainingConfig:
     max_rate: float = 2.0
     patience: int = 100
     min_delta: float = 1e-5
+    divergence_factor: float = 1e6
     # Rprop constants (Riedmiller & Braun defaults).
     rprop_init: float = 0.01
     rprop_grow: float = 1.2
@@ -83,6 +92,10 @@ class TrainingConfig:
             raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
         if self.patience <= 0:
             raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if self.divergence_factor <= 1.0:
+            raise ValueError(
+                f"divergence_factor must be > 1, got {self.divergence_factor}"
+            )
 
 
 @dataclass
@@ -140,10 +153,23 @@ def train(
     stopped_early = False
     epochs_run = 0
 
+    loss_bound: float | None = None
     for epoch in range(config.max_epochs):
         epochs_run = epoch + 1
         loss, grads = net.loss_and_grad(X, y)
         history.append(loss)
+        if loss_bound is None:
+            loss_bound = max(float(loss) if np.isfinite(loss) else 1.0, 1.0) \
+                * config.divergence_factor
+        if not np.isfinite(loss) or loss > loss_bound:
+            _metrics().counter("robust.nn.divergence").inc()
+            raise NumericalError(
+                f"training diverged at epoch {epochs_run}: loss={float(loss)!r} "
+                f"(bound {loss_bound:.3g})",
+                cause="nn-divergence",
+                context={"epoch": epochs_run, "loss": float(loss),
+                         "bound": float(loss_bound), "optimizer": config.optimizer},
+            )
 
         if use_rprop:
             # Rprop-: per-weight signed steps; shrink and skip on sign flip.
@@ -173,6 +199,14 @@ def train(
 
         if has_val:
             val_loss = net.loss(X_val, y_val)
+            if not np.isfinite(val_loss):
+                _metrics().counter("robust.nn.divergence").inc()
+                raise NumericalError(
+                    f"validation loss went non-finite at epoch {epochs_run}",
+                    cause="nn-divergence",
+                    context={"epoch": epochs_run, "loss": float(val_loss),
+                             "optimizer": config.optimizer},
+                )
             if val_loss < best_val * (1.0 - config.min_delta):
                 best_val = val_loss
                 best_weights = [w.copy() for w in net.weights]

@@ -15,15 +15,19 @@ matching or beating the single best model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 import numpy as np
 
+from repro.errors import ModelValidationError
 from repro.ml.base import PredictiveModel
 from repro.ml.dataset import Dataset
 from repro.obs import phase as _obs_phase
 from repro.parallel.executor import Executor
 from repro.util.stats import mean_absolute_percentage_error
+
+if TYPE_CHECKING:  # import cycle: repro.robust.gates imports this module
+    from repro.robust.gates import ValidationGate
 
 __all__ = ["ErrorEstimate", "estimate_error", "select_model", "ModelBuilder"]
 
@@ -140,23 +144,45 @@ def select_model(
     n_reps: int = 5,
     statistic: str = "max",
     executor: Executor | None = None,
+    gate: "ValidationGate | None" = None,
 ) -> tuple[str, dict[str, ErrorEstimate]]:
     """Run :func:`estimate_error` for every candidate and pick the winner.
 
     Returns ``(winning_name, all_estimates)``. The winner minimizes the
     chosen estimate statistic (paper default: the max over repetitions);
     ties break toward the earlier entry in ``builders`` order.
+
+    With a ``gate`` (:class:`~repro.robust.gates.ValidationGate`),
+    candidates whose estimate fails the gate's holdout-error check are
+    excluded from winning — a model with a NaN or absurd estimate can no
+    longer be "selected" by accident. All estimates are still returned;
+    if every candidate is excluded,
+    :class:`~repro.errors.ModelValidationError` is raised.
     """
     if not builders:
         raise ValueError("no candidate builders given")
     estimates: dict[str, ErrorEstimate] = {}
+    excluded: dict[str, str] = {}
     best_name: str | None = None
     best_value = np.inf
     for name, builder in builders.items():
         est = estimate_error(builder, train, rng, n_reps=n_reps, executor=executor)
         estimates[name] = est
+        if gate is not None:
+            check = gate.check_estimate(est)
+            if not check.passed:
+                excluded[name] = check.detail
+                continue
         value = est.value(statistic)
         if value < best_value:
             best_name, best_value = name, value
-    assert best_name is not None
+    if best_name is None:
+        # Either the gate excluded every candidate, or (gate-less) every
+        # estimate was NaN and no comparison could succeed.
+        detail = ("; ".join(f"{k} ({v})" for k, v in excluded.items())
+                  or "no candidate produced a comparable (non-NaN) estimate")
+        raise ModelValidationError(
+            f"model selection found no deployable candidate: {detail}",
+            failures=[f"{k}: {v}" for k, v in excluded.items()],
+        )
     return best_name, estimates

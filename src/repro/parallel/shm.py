@@ -99,7 +99,7 @@ class SharedPayload:
                 seg.close()
                 try:
                     _shm.SharedMemory(name=name).unlink()
-                except OSError:
+                except OSError:  # noqa: S110 - stale-block unlink is best-effort
                     pass
                 seg = _shm.SharedMemory(name=name, create=True, size=len(payload))
             seg.buf[:len(payload)] = payload
@@ -119,7 +119,7 @@ class SharedPayload:
             try:
                 self._segment.close()
                 self._segment.unlink()
-            except OSError:  # pragma: no cover - double close / foreign unlink
+            except OSError:  # noqa: S110  # pragma: no cover - double close / foreign unlink
                 pass
             self._segment = None
 

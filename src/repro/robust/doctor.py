@@ -1,0 +1,176 @@
+"""Environment self-check behind ``repro doctor``.
+
+A surprising share of "the model is wrong" reports are really "the
+environment is wrong": a numpy build too old for ``Generator`` features, a
+cache directory on a read-only mount, ``/dev/shm`` absent in a container, a
+BLAS that breaks seeded reproducibility. ``repro doctor`` runs the cheap
+checks that distinguish those cases up front and prints a readable report;
+a nonzero exit code means at least one check failed.
+
+Checks are deliberately side-effect free apart from one tempfile write in
+the configured cache directory and one tiny throwaway shared-memory block.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, TextIO
+
+import numpy as np
+
+__all__ = ["DoctorCheck", "DoctorReport", "run_doctor"]
+
+#: Oldest numpy this codebase is exercised against (``default_rng``,
+#: ``Generator.choice`` semantics the seeded streams rely on).
+_MIN_NUMPY = (1, 22)
+
+
+@dataclass(frozen=True)
+class DoctorCheck:
+    """One environment check: what was probed and what was found."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.passed else "FAIL"
+
+
+@dataclass
+class DoctorReport:
+    """All doctor checks plus render/exit helpers."""
+
+    checks: list[DoctorCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self, stream: TextIO | None = None) -> str:
+        out = stream if stream is not None else sys.stdout
+        width = max((len(c.name) for c in self.checks), default=0)
+        lines = [f"  [{c.status:>4}] {c.name.ljust(width)}  {c.detail}"
+                 for c in self.checks]
+        n_fail = sum(not c.passed for c in self.checks)
+        verdict = ("all checks passed" if self.ok
+                   else f"{n_fail} of {len(self.checks)} check(s) FAILED")
+        text = "repro doctor\n" + "\n".join(lines) + f"\n{verdict}\n"
+        out.write(text)
+        return text
+
+
+def _check_python() -> DoctorCheck:
+    ok = sys.version_info >= (3, 10)
+    return DoctorCheck(
+        "python", ok,
+        f"{platform.python_version()} ({'>= 3.10 required' if not ok else sys.executable})")
+
+
+def _check_numpy() -> DoctorCheck:
+    try:
+        parts = tuple(int(p) for p in np.__version__.split(".")[:2])
+    except ValueError:
+        parts = _MIN_NUMPY  # dev builds ("2.0.0.dev0+...") parse fine; be lenient
+    ok = parts >= _MIN_NUMPY
+    want = ".".join(str(v) for v in _MIN_NUMPY)
+    return DoctorCheck(
+        "numpy", ok,
+        f"{np.__version__}" + ("" if ok else f" (need >= {want})"))
+
+
+def _check_scipy() -> DoctorCheck:
+    # scipy is optional everywhere in this codebase; report presence only.
+    try:
+        import scipy
+        return DoctorCheck("scipy", True, f"{scipy.__version__} (optional)")
+    except ImportError:
+        return DoctorCheck("scipy", True, "not installed (optional — pure-numpy paths in use)")
+
+
+def _check_cache_dir() -> DoctorCheck:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        return DoctorCheck("cache-dir", True,
+                           "REPRO_CACHE_DIR unset (memory-only caching)")
+    path = Path(root)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(dir=path, prefix=".doctor-", suffix=".probe"):
+            pass
+    except OSError as exc:
+        return DoctorCheck("cache-dir", False, f"{path}: not writable ({exc})")
+    return DoctorCheck("cache-dir", True, f"{path}: writable")
+
+
+def _check_shm() -> DoctorCheck:
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:
+        return DoctorCheck("shared-memory", True,
+                           "unavailable (parallel payloads degrade to inline pickling)")
+    try:
+        seg = shared_memory.SharedMemory(create=True, size=64)
+    except (OSError, ValueError) as exc:
+        return DoctorCheck("shared-memory", True,
+                           f"unusable ({exc}) — payloads degrade to inline pickling")
+    try:
+        seg.buf[:4] = b"ping"
+        ok = bytes(seg.buf[:4]) == b"ping"
+    finally:
+        seg.close()
+        seg.unlink()
+    return DoctorCheck("shared-memory", ok,
+                       "read/write probe ok" if ok else "probe readback mismatch")
+
+
+def _check_seed_reproducibility() -> DoctorCheck:
+    from repro.util.rng import child_rng
+
+    a = child_rng(1234, "doctor", "smoke").random(8)
+    b = child_rng(1234, "doctor", "smoke").random(8)
+    if not np.array_equal(a, b):
+        return DoctorCheck("seed-repro", False,
+                           "identical named streams produced different draws")
+    # A pinned draw guards against numpy changing bit-generator semantics
+    # underneath the experiment seeds.
+    x = float(np.random.default_rng(0).random())
+    expected = 0.6369616873214543
+    if abs(x - expected) > 1e-12:
+        return DoctorCheck(
+            "seed-repro", False,
+            f"default_rng(0).random() = {x!r}, expected {expected!r} — "
+            "numpy RNG semantics changed; pinned results will not reproduce")
+    return DoctorCheck("seed-repro", True, "named streams + pinned PCG64 draw ok")
+
+
+_CHECKS: tuple[Callable[[], DoctorCheck], ...] = (
+    _check_python,
+    _check_numpy,
+    _check_scipy,
+    _check_cache_dir,
+    _check_shm,
+    _check_seed_reproducibility,
+)
+
+
+def run_doctor() -> DoctorReport:
+    """Run every environment check; never raises — failures land in the report."""
+    report = DoctorReport()
+    for probe in _CHECKS:
+        try:
+            report.checks.append(probe())
+        except Exception as exc:  # a probe crashing IS a failed check
+            name = probe.__name__.removeprefix("_check_").replace("_", "-")
+            report.checks.append(DoctorCheck(name, False, f"check crashed: {exc!r}"))
+    return report

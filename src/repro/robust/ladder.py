@@ -1,0 +1,227 @@
+"""The graceful model-degradation ladder.
+
+When a requested model fails — training diverges past its restart budget,
+least squares cannot produce finite coefficients, or the fitted model fails
+its :class:`~repro.robust.gates.ValidationGate` — the drivers do not abort
+and do not silently deploy garbage. They walk a *declared* fallback ladder:
+
+    NN-E → NN-Q → LR-S → LR-E → mean baseline
+
+Each rung is trained, cross-validated, and gated exactly like the rung
+above it; every step down is recorded as a ``robust.ladder.degraded``
+counter increment plus a ``ladder-step`` trace event, so a degraded run is
+observable end to end. The final rung — :class:`MeanBaselineModel`, which
+predicts the training-set mean — is gated on prediction sanity only: it is
+the floor whose job is to always yield a finite, honest (if weak) answer.
+Only when even the floor fails does the ladder raise
+:class:`~repro.errors.DegradationExhausted`.
+
+A run whose primary model passes its gate takes the exact same code path
+(same RNG draws, same fit) as a run without a ladder, so clean inputs stay
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import DegradationExhausted, NumericalError
+from repro.ml.base import PredictiveModel
+from repro.ml.dataset import Dataset
+from repro.ml.selection import ErrorEstimate, ModelBuilder, estimate_error
+from repro.obs import annotate as _annotate
+from repro.obs import phase as _obs_phase
+from repro.obs.metrics import default_registry as _metrics
+from repro.parallel.executor import Executor
+from repro.robust.gates import GateResult, ValidationGate
+
+__all__ = [
+    "MEAN_BASELINE",
+    "DEFAULT_RUNGS",
+    "MeanBaselineModel",
+    "LadderStep",
+    "LadderOutcome",
+    "DegradationLadder",
+    "default_ladder",
+]
+
+#: Label of the ladder's unconditional floor.
+MEAN_BASELINE = "mean-baseline"
+
+#: Default fallback order: strongest-but-most-fragile first (the paper's
+#: best chronological model NN-E), through the cheap-and-stable linear
+#: methods, down to the mean baseline.
+DEFAULT_RUNGS: tuple[str, ...] = ("NN-E", "NN-Q", "LR-S", "LR-E", MEAN_BASELINE)
+
+
+class MeanBaselineModel(PredictiveModel):
+    """Predicts the training-set mean for every record.
+
+    The weakest honest model: finite by construction whenever the training
+    target is (which :class:`~repro.ml.dataset.Dataset` guarantees), and
+    therefore the terminal rung of every degradation ladder.
+    """
+
+    name = MEAN_BASELINE
+
+    def __init__(self) -> None:
+        self._mean: float | None = None
+
+    def fit(self, train: Dataset) -> "MeanBaselineModel":
+        self._mean = float(np.mean(train.target))
+        return self
+
+    def predict(self, data: Dataset) -> np.ndarray:
+        self._require_fit(self._mean is not None)
+        assert self._mean is not None
+        return np.full(data.n_records, self._mean, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class LadderStep:
+    """One rung attempt: which model, what happened."""
+
+    label: str
+    outcome: str   # "accepted" | "gate-failed" | "numerical-failure"
+    detail: str
+
+    def summary(self) -> str:
+        return f"{self.label} [{self.outcome}]: {self.detail}"
+
+
+@dataclass
+class LadderOutcome:
+    """Post-mortem of one ladder walk (also produced for clean runs)."""
+
+    requested: str
+    deployed: str
+    steps: list[LadderStep] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return self.deployed != self.requested
+
+
+@dataclass(frozen=True)
+class DegradationLadder:
+    """A declared fallback chain plus the gate every rung must pass.
+
+    ``builders`` maps rung labels to zero-argument model factories;
+    :data:`MEAN_BASELINE` needs no entry (the ladder constructs it).
+    Use :func:`default_ladder` for the standard chain.
+    """
+
+    rungs: tuple[str, ...] = DEFAULT_RUNGS
+    builders: Mapping[str, ModelBuilder] = field(default_factory=dict)
+    gate: ValidationGate = field(default_factory=ValidationGate)
+
+    def __post_init__(self) -> None:
+        if not self.rungs:
+            raise ValueError("ladder needs at least one rung")
+        missing = [r for r in self.rungs
+                   if r != MEAN_BASELINE and r not in self.builders]
+        if missing:
+            raise ValueError(f"no builder for ladder rung(s): {missing}")
+
+    def builder_for(self, label: str) -> ModelBuilder:
+        if label == MEAN_BASELINE:
+            return MeanBaselineModel
+        return self.builders[label]
+
+    def _fallbacks(self, requested: str) -> list[str]:
+        """Rungs to try after ``requested`` fails.
+
+        When the requested model is itself a rung, degradation continues
+        *below* it (retrying stronger rungs would just repeat their
+        failures); otherwise the whole ladder applies.
+        """
+        rungs = list(self.rungs)
+        if requested in rungs:
+            rungs = rungs[rungs.index(requested) + 1:]
+        return [r for r in rungs if r != requested]
+
+    def fit_model(
+        self,
+        label: str,
+        builder: ModelBuilder,
+        train: Dataset,
+        rng: np.random.Generator,
+        n_cv_reps: int = 5,
+        executor: Executor | None = None,
+    ) -> tuple[PredictiveModel, ErrorEstimate, LadderOutcome]:
+        """Fit ``label`` with gate checks, degrading down the ladder on failure.
+
+        The primary attempt mirrors the unguarded driver exactly —
+        ``estimate_error`` first (same RNG draws), then one fit — so clean
+        runs are bit-identical. Returns the deployed model, its estimate,
+        and the :class:`LadderOutcome` describing the walk.
+        """
+        outcome = LadderOutcome(requested=label, deployed=label)
+        attempts: list[tuple[str, ModelBuilder]] = [(label, builder)]
+        attempts += [(r, self.builder_for(r)) for r in self._fallbacks(label)]
+
+        for rung_label, rung_builder in attempts:
+            is_floor = rung_label == MEAN_BASELINE
+            try:
+                with _obs_phase("ladder-try", model=rung_label, requested=label):
+                    estimate = estimate_error(rung_builder, train, rng,
+                                              n_reps=n_cv_reps, executor=executor)
+                    model = rung_builder()
+                    model.fit(train)
+                    # The floor is gated on prediction sanity only: its
+                    # holdout error is by definition the worst acceptable.
+                    gate_result: GateResult = self.gate.check(
+                        model, train, None if is_floor else estimate)
+            except NumericalError as exc:
+                outcome.steps.append(LadderStep(
+                    label=rung_label, outcome="numerical-failure",
+                    detail=f"{exc.cause}: {exc}"))
+                self._note_degrade(outcome, rung_label, f"numerical-failure:{exc.cause}")
+                continue
+            if gate_result.passed:
+                outcome.steps.append(LadderStep(
+                    label=rung_label, outcome="accepted",
+                    detail=gate_result.summary()))
+                outcome.deployed = rung_label
+                if outcome.degraded:
+                    _metrics().counter("robust.ladder.degraded_runs").inc()
+                    if is_floor:
+                        _metrics().counter("robust.ladder.baseline_deployed").inc()
+                _annotate("ladder-deployed", requested=label, deployed=rung_label,
+                          degraded=outcome.degraded, n_steps=len(outcome.steps))
+                return model, estimate, outcome
+            outcome.steps.append(LadderStep(
+                label=rung_label, outcome="gate-failed",
+                detail="; ".join(gate_result.failures())))
+            self._note_degrade(outcome, rung_label, "gate-failed")
+
+        raise DegradationExhausted(
+            f"degradation ladder exhausted for {label!r}: every rung failed — "
+            + " | ".join(s.summary() for s in outcome.steps),
+            failures=[s.summary() for s in outcome.steps],
+        )
+
+    @staticmethod
+    def _note_degrade(outcome: LadderOutcome, rung_label: str, why: str) -> None:
+        _metrics().counter("robust.ladder.degraded").inc()
+        _annotate("ladder-step", requested=outcome.requested, rung=rung_label,
+                  outcome=why)
+
+
+def default_ladder(
+    seed: int = 0,
+    rungs: tuple[str, ...] = DEFAULT_RUNGS,
+    gate: ValidationGate | None = None,
+) -> DegradationLadder:
+    """The standard ladder with builders resolved from the model registry."""
+    from repro.core.models import model_builders  # local: avoids a cycle
+
+    labels = tuple(r for r in rungs if r != MEAN_BASELINE)
+    return DegradationLadder(
+        rungs=rungs,
+        builders=dict(model_builders(labels, seed=seed)),
+        gate=gate if gate is not None else ValidationGate(),
+    )

@@ -225,7 +225,7 @@ class _AddressModel:
                     # distances collapse far below the sampled ones.
                     try:
                         stack.remove(blk)
-                    except ValueError:
+                    except ValueError:  # noqa: S110
                         pass  # fell off the exact stack; timeline keeps it
             else:
                 pick = comp_pick[i]
@@ -240,7 +240,7 @@ class _AddressModel:
                         blk = self.timeline[len(self.timeline) - d]
                         try:
                             stack.remove(blk)
-                        except ValueError:
+                        except ValueError:  # noqa: S110 - fell off the exact stack
                             pass
                     else:
                         blk = self._new_block()

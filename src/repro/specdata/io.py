@@ -20,10 +20,15 @@ from typing import Sequence
 from repro.ml.dataset import ColumnRole
 from repro.specdata.schema import PARAMETER_FIELDS, SystemRecord
 
-__all__ = ["write_records_csv", "read_records_csv"]
+__all__ = ["write_records_csv", "read_records_csv", "parse_record_row", "REQUIRED_COLUMNS"]
 
 _PROVENANCE = ("family", "year", "quarter")
 _RESULTS = ("specint_rate", "specfp_rate")
+
+#: Columns every record CSV must carry (provenance + 32 parameters + ratings).
+REQUIRED_COLUMNS: tuple[str, ...] = (
+    _PROVENANCE + tuple(n for n, _ in PARAMETER_FIELDS) + _RESULTS
+)
 
 
 def _header(records: Sequence[SystemRecord]) -> list[str]:
@@ -61,41 +66,56 @@ def _parse(value: str, role: ColumnRole):
     return value
 
 
+_INT_FIELDS = frozenset({"total_cores", "total_chips", "cores_per_chip", "l4_shared_count"})
+
+
+def parse_record_row(row: dict, ratio_cols: Sequence[str] = ()) -> SystemRecord:
+    """Build one :class:`SystemRecord` from a CSV row dict.
+
+    Raises ``ValueError`` (bad value, schema violation) or ``KeyError``
+    (missing column) on a malformed row — the unit the ingest guards in
+    :mod:`repro.robust.guards` catch to quarantine a single row instead of
+    aborting the whole file.
+    """
+    kwargs: dict = {
+        "family": row["family"],
+        "year": int(row["year"]),
+        "quarter": int(row["quarter"]),
+        "specint_rate": float(row["specint_rate"]),
+        "specfp_rate": float(row["specfp_rate"]),
+    }
+    for name, role in PARAMETER_FIELDS:
+        value = _parse(row[name], role)
+        if name in _INT_FIELDS:
+            value = int(value)
+        kwargs[name] = value
+    if ratio_cols:
+        kwargs["app_ratios"] = tuple(
+            (c[len("ratio:"):], float(row[c])) for c in ratio_cols
+        )
+    return SystemRecord(**kwargs)
+
+
 def read_records_csv(path: str | Path) -> list[SystemRecord]:
     """Read announcement records written by :func:`write_records_csv`.
 
     Integer-typed parameters (core counts) are restored from their float
-    representation; per-app ratio columns are optional.
+    representation; per-app ratio columns are optional. Any malformed row
+    aborts the read — use
+    :func:`repro.robust.guards.read_records_checked` for row-level
+    quarantine instead of all-or-nothing ingest.
     """
-    int_fields = {"total_cores", "total_chips", "cores_per_chip", "l4_shared_count"}
     records: list[SystemRecord] = []
     with open(path, newline="") as fh:
         reader = csv.DictReader(fh)
         if reader.fieldnames is None:
             raise ValueError(f"{path}: empty CSV")
-        missing = [c for c in _PROVENANCE + tuple(n for n, _ in PARAMETER_FIELDS)
-                   + _RESULTS if c not in reader.fieldnames]
+        missing = [c for c in REQUIRED_COLUMNS if c not in reader.fieldnames]
         if missing:
             raise ValueError(f"{path}: missing columns {missing}")
         ratio_cols = [c for c in reader.fieldnames if c.startswith("ratio:")]
         for row in reader:
-            kwargs: dict = {
-                "family": row["family"],
-                "year": int(row["year"]),
-                "quarter": int(row["quarter"]),
-                "specint_rate": float(row["specint_rate"]),
-                "specfp_rate": float(row["specfp_rate"]),
-            }
-            for name, role in PARAMETER_FIELDS:
-                value = _parse(row[name], role)
-                if name in int_fields:
-                    value = int(value)
-                kwargs[name] = value
-            if ratio_cols:
-                kwargs["app_ratios"] = tuple(
-                    (c[len("ratio:"):], float(row[c])) for c in ratio_cols
-                )
-            records.append(SystemRecord(**kwargs))
+            records.append(parse_record_row(row, ratio_cols))
     if not records:
         raise ValueError(f"{path}: no data rows")
     return records

@@ -1,0 +1,82 @@
+"""Edge cases of the chronological workflow: empty years, singleton training
+years, and degenerate (constant-rating) archives."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.chronological import chronological_datasets, run_chronological
+from repro.core.models import model_builders
+from repro.errors import DataIntegrityError
+
+
+@pytest.fixture(scope="module")
+def builders():
+    return model_builders(("LR-S", "LR-B"), seed=3)
+
+
+class TestEmptyTargetYear:
+    def test_zero_records_in_test_year_typed_error(self, spec_archive):
+        recs = spec_archive("opteron-2")
+        with pytest.raises(DataIntegrityError, match="test year 2035") as ei:
+            chronological_datasets("opteron-2", 2005, 2035, records=recs)
+        assert ei.value.exit_code == 7
+
+    def test_zero_records_in_training_year_typed_error(self, spec_archive):
+        recs = spec_archive("opteron-2")
+        with pytest.raises(DataIntegrityError, match="training year 1996"):
+            chronological_datasets("opteron-2", 1996, 2006, records=recs)
+
+    def test_still_catchable_as_value_error(self, spec_archive):
+        # PR-1-era callers catch ValueError; the typed error must remain one.
+        with pytest.raises(ValueError, match="training year"):
+            chronological_datasets("opteron-2", 1996, 2006,
+                                   records=spec_archive("opteron-2"))
+
+
+class TestSingletonTrainingYear:
+    def test_single_record_training_year_refused(self, spec_archive, builders):
+        recs = spec_archive("opteron-2")
+        one_2005 = next(r for r in recs if r.year == 2005)
+        rest = [r for r in recs if r.year != 2005]
+        with pytest.raises(DataIntegrityError, match="at least 2") as ei:
+            run_chronological("opteron-2", builders, records=rest + [one_2005],
+                              rng=np.random.default_rng(0))
+        assert ei.value.exit_code == 7
+
+    def test_tiny_training_year_still_runs(self, spec_archive, builders):
+        recs = spec_archive("opteron-2")
+        few_2005 = [r for r in recs if r.year == 2005][:6]
+        rest = [r for r in recs if r.year != 2005]
+        result = run_chronological("opteron-2", builders,
+                                   records=rest + few_2005,
+                                   rng=np.random.default_rng(0), n_cv_reps=2)
+        assert result.n_train == 6
+        assert all(np.isfinite(s.mean) for s in result.errors.values())
+
+
+class TestConstantRatings:
+    def test_all_identical_ratings_yield_finite_errors(self, spec_archive,
+                                                       builders):
+        # A degenerate archive where every system scores identically: the
+        # fitters must not blow up (constant target, zero variance), and
+        # every reported error must be finite.
+        recs = [dataclasses.replace(r, specint_rate=100.0)
+                for r in spec_archive("opteron-2")]
+        result = run_chronological("opteron-2", builders, records=recs,
+                                   rng=np.random.default_rng(0), n_cv_reps=2)
+        for summary in result.errors.values():
+            assert np.isfinite(summary.mean)
+            assert summary.mean < 50.0  # predicting a constant is easy
+
+    def test_constant_ratings_with_ladder(self, spec_archive):
+        from repro.robust import ValidationGate, default_ladder
+
+        recs = [dataclasses.replace(r, specint_rate=100.0)
+                for r in spec_archive("opteron-2")]
+        ladder = default_ladder(seed=3, gate=ValidationGate())
+        result = run_chronological(
+            "opteron-2", model_builders(("LR-S",), seed=3), records=recs,
+            rng=np.random.default_rng(0), n_cv_reps=2, ladder=ladder)
+        assert all(np.isfinite(s.mean) for s in result.errors.values())

@@ -1,0 +1,79 @@
+"""Tests for the ``repro doctor`` environment self-check."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.robust import run_doctor
+from repro.robust.doctor import DoctorCheck, DoctorReport
+
+
+class TestRunDoctor:
+    def test_healthy_environment_passes(self):
+        report = run_doctor()
+        assert report.ok
+        assert report.exit_code == 0
+        names = [c.name for c in report.checks]
+        assert {"python", "numpy", "cache-dir", "shared-memory",
+                "seed-repro"} <= set(names)
+
+    def test_render_is_readable(self):
+        report = run_doctor()
+        buf = io.StringIO()
+        text = report.render(buf)
+        assert buf.getvalue() == text
+        assert text.startswith("repro doctor")
+        assert "all checks passed" in text
+        for check in report.checks:
+            assert check.name in text
+
+    def test_failure_reported_with_nonzero_exit(self):
+        report = DoctorReport(checks=[
+            DoctorCheck("good", True, "fine"),
+            DoctorCheck("bad", False, "broken thing"),
+        ])
+        assert not report.ok
+        assert report.exit_code == 1
+        text = report.render(io.StringIO())
+        assert "FAIL" in text and "broken thing" in text
+        assert "1 of 2 check(s) FAILED" in text
+
+    def test_unwritable_cache_dir_fails(self, tmp_path, monkeypatch):
+        target = tmp_path / "file-not-dir"
+        target.write_text("occupied")  # mkdir under a file must fail
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target / "sub"))
+        report = run_doctor()
+        cache_check = next(c for c in report.checks if c.name == "cache-dir")
+        assert not cache_check.passed
+        assert report.exit_code == 1
+
+    def test_crashing_probe_becomes_failed_check(self, monkeypatch):
+        import repro.robust.doctor as doctor_mod
+
+        def boom():
+            raise RuntimeError("probe exploded")
+
+        boom.__name__ = "_check_numpy"
+        monkeypatch.setattr(doctor_mod, "_CHECKS", (boom,))
+        report = doctor_mod.run_doctor()
+        assert not report.ok
+        assert report.checks[0].name == "numpy"
+        assert "probe exploded" in report.checks[0].detail
+
+
+class TestDoctorCli:
+    def test_exit_zero_when_healthy(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "repro doctor" in out
+        assert "all checks passed" in out
+
+    def test_exit_nonzero_on_failure(self, monkeypatch, capsys):
+        import repro.robust.doctor as doctor_mod
+
+        monkeypatch.setattr(
+            doctor_mod, "_CHECKS",
+            (lambda: DoctorCheck("synthetic", False, "induced failure"),))
+        assert main(["doctor"]) == 1
+        assert "induced failure" in capsys.readouterr().out
