@@ -1,0 +1,212 @@
+"""Service drill: kill a worker mid-run and prove nothing is lost.
+
+End-to-end exercise of the fault-tolerant job service through its public
+surface only (the ``repro serve`` / ``submit`` / ``jobs`` CLI plus the
+spool directory), the way CI drives it:
+
+1. **Pre-daemon submission** — a spool is created with a depth bound of 4
+   and filled to that bound with real sweep jobs before any daemon exists
+   (the queue is durable; the daemon is optional at submission time).
+2. **Typed load shedding** — the fifth submission must be *rejected*, not
+   queued and not hung, with the :class:`~repro.errors.ServiceOverloadError`
+   exit code (12).
+3. **Kill a worker mid-run** — the daemon starts with a chaos injector
+   that SIGKILLs the first-generation workers mid-sweep. The supervisor
+   must detect the deaths, restart the shards, re-dispatch the expired
+   leases, and resume each interrupted job from its checkpoint journal.
+4. **Bit-identical results** — every job's cycle vector must equal the
+   serial in-process oracle exactly. Crash recovery that changes results
+   is worse than crashing.
+5. **External SIGKILL + deadline** — one more worker is murdered from
+   outside (pid read from its heartbeat file, as an operator would), and a
+   job submitted with an already-impossible deadline must fail with the
+   :class:`~repro.errors.JobDeadlineExceeded` exit code (14).
+
+Artifacts (spool event log, job listing, drill report JSON) are copied to
+``benchmarks/results/`` for CI upload.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/service_drill.py [--out-dir PATH]
+
+Exit codes: 0 ok; 2 a drill invariant failed (details on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+APPS = ("gcc", "mcf", "gzip", "art")
+SLICE_STOP = 60
+N_INSTR = 1_000_000
+SEED = 7
+
+
+def _fail(msg: str) -> None:
+    print(f"service_drill: FAIL: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def _cli(*argv: str, env: dict | None = None) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, "-m", "repro", *argv],
+                          capture_output=True, text=True, env=env)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=None,
+                        help="artifact directory (default benchmarks/results)")
+    args = parser.parse_args()
+    out_dir = Path(args.out_dir) if args.out_dir else \
+        Path(__file__).parent / "results"
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    from repro.service import JobSpool, SpoolConfig
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-drill-"))
+    spool_dir = workdir / "spool"
+    report: dict = {"spool": str(spool_dir)}
+
+    # 1. Fill the queue to its bound before any daemon exists.
+    JobSpool.ensure(spool_dir, SpoolConfig(max_depth=len(APPS), lease_ttl=2.0))
+    jids: list[str] = []
+    for app in APPS:
+        p = _cli("submit", "--spool", str(spool_dir), "sweep", app,
+                 "--stop", str(SLICE_STOP), "--n-instructions", str(N_INSTR))
+        if p.returncode != 0:
+            _fail(f"submit {app} rc={p.returncode}: {p.stderr}")
+        jids.append(p.stdout.strip())
+    print(f"service_drill: {len(jids)} jobs spooled")
+
+    # 2. The over-bound submission must shed with the typed exit code.
+    p = _cli("submit", "--spool", str(spool_dir), "sweep", "swim",
+             "--stop", str(SLICE_STOP), "--n-instructions", str(N_INSTR))
+    if p.returncode != 12:
+        _fail(f"overload submission: expected exit 12, got {p.returncode} "
+              f"(stderr: {p.stderr!r})")
+    print(f"service_drill: overload shed with exit 12 ({p.stderr.strip()})")
+    report["overload_exit"] = p.returncode
+
+    # 3. Serve with chaos: SIGKILL generation-1 workers mid-sweep.
+    t0 = time.monotonic()
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--spool", str(spool_dir),
+         "--workers", "2", "--max-depth", str(len(APPS)),
+         "--lease-ttl", "2", "--heartbeat-timeout", "5",
+         "--drain-on-idle", "--max-runtime", "120",
+         "--chaos-sigkill-at", "30", "--seed", str(SEED)],
+        stderr=subprocess.PIPE, text=True)
+
+    # 3b. While it runs, murder one worker from outside too (operator-style:
+    # pid from the heartbeat file). Best-effort — chaos may get there first.
+    spool = JobSpool.open(spool_dir)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        beats = spool.heartbeats()
+        if beats:
+            from repro.robust.chaos import sigkill_process
+
+            victim, beat = sorted(beats.items())[0]
+            if sigkill_process(int(beat["pid"])):
+                print(f"service_drill: externally SIGKILLed {victim} "
+                      f"(pid {beat['pid']})")
+                report["external_kill"] = victim
+            break
+        time.sleep(0.05)
+
+    try:
+        rc = serve.wait(timeout=150)
+    except subprocess.TimeoutExpired:
+        serve.kill()
+        _fail("serve did not drain within 150s")
+    serve_err = serve.stderr.read() if serve.stderr else ""
+    report["serve_exit"] = rc
+    report["serve_seconds"] = round(time.monotonic() - t0, 2)
+    if rc != 0:
+        _fail(f"serve rc={rc}: {serve_err}")
+    print(f"service_drill: serve drained cleanly in "
+          f"{report['serve_seconds']}s")
+
+    # 4. Every job done; at least one was re-dispatched after a kill.
+    p = _cli("jobs", "--spool", str(spool_dir), "--json")
+    views = [json.loads(line) for line in p.stdout.splitlines()]
+    not_done = [v["id"] for v in views if v["state"] != "done"]
+    if not_done:
+        _fail(f"jobs not done after drain: {not_done}")
+    redispatched = sum(v["n_expired"] for v in views)
+    report["n_jobs"] = len(views)
+    report["n_redispatched_leases"] = redispatched
+    if redispatched < 1:
+        _fail("no lease ever expired — the kill drill did not exercise "
+              "re-dispatch")
+    print(f"service_drill: all {len(views)} jobs done, "
+          f"{redispatched} lease(s) re-dispatched after kills")
+
+    # Bit-identity against the serial in-process oracle.
+    from repro.simulator import (
+        enumerate_design_space,
+        get_profile,
+        sweep_design_space,
+    )
+
+    configs = list(enumerate_design_space())[0:SLICE_STOP]
+    for app, jid in zip(APPS, jids):
+        oracle = np.asarray(sweep_design_space(
+            configs, get_profile(app), n_instructions=N_INSTR))
+        got = spool.result(jid)["cycles"]
+        if not np.array_equal(oracle, got):
+            _fail(f"{app}: service result differs from serial oracle")
+    report["bit_identical"] = True
+    print("service_drill: results bit-identical to the serial oracle")
+
+    # 5. A job whose deadline already passed must fail with exit 14 —
+    # through a live daemon, observed by a blocking client. Ending the
+    # daemon with SIGTERM also proves the graceful-drain path.
+    serve2 = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--spool", str(spool_dir),
+         "--workers", "1", "--max-runtime", "60", "--seed", str(SEED)],
+        stderr=subprocess.PIPE, text=True)
+    try:
+        p = _cli("submit", "--spool", str(spool_dir), "sweep", "swim",
+                 "--stop", "10", "--n-instructions", str(N_INSTR),
+                 "--deadline", "0.000001", "--wait", "--timeout", "30")
+        if p.returncode != 14:
+            _fail(f"deadline job: expected exit 14, got {p.returncode} "
+                  f"(stderr: {p.stderr!r})")
+        report["deadline_exit"] = p.returncode
+        print("service_drill: expired-deadline job failed with exit 14")
+    finally:
+        serve2.terminate()
+    try:
+        rc = serve2.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        serve2.kill()
+        _fail("serve did not drain on SIGTERM within 30s")
+    if rc != 0:
+        _fail(f"SIGTERM drain: serve rc={rc}")
+    report["sigterm_drain_exit"] = rc
+    print("service_drill: SIGTERM drained the daemon cleanly")
+
+    # Artifacts.
+    shutil.copy(spool_dir / "spool.jsonl", out_dir / "BENCH_service_spool.jsonl")
+    (out_dir / "BENCH_service_jobs.txt").write_text(
+        _cli("jobs", "--spool", str(spool_dir)).stdout)
+    (out_dir / "BENCH_service_drill.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"service_drill: artifacts in {out_dir}")
+    print("service_drill: OK")
+    shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,10 @@ class DiskStore:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        #: I/O failures (unreadable entry, failed write) — distinct from
+        #: plain misses. A circuit breaker above this layer watches the
+        #: delta around each probe to decide when the disk tier is sick.
+        self.io_errors = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -48,7 +52,12 @@ class DiskStore:
     def _read(self, path: Path) -> Any:
         try:
             raw = path.read_bytes()
+        except FileNotFoundError:
+            return _MISS
         except OSError:
+            # Entry exists but cannot be read (I/O error, permission, bad
+            # mount) — a disk-tier health problem, not a plain miss.
+            self.io_errors += 1
             return _MISS
         header_len = len(_MAGIC) + 64
         if raw[: len(_MAGIC)] != _MAGIC or len(raw) < header_len:
@@ -90,8 +99,8 @@ class DiskStore:
                 except OSError:  # noqa: S110 - best-effort tmp cleanup before re-raise
                     pass
                 raise
-        except OSError:  # noqa: S110  # pragma: no cover - disk full / permission denied
-            pass
+        except OSError:
+            self.io_errors += 1
 
     def _entries(self) -> Iterator[Path]:
         if not self.root.is_dir():

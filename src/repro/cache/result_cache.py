@@ -77,18 +77,55 @@ class CacheStats:
 
 
 class ResultCache:
-    """Two-layer (memory, optional disk) content-addressed cache."""
+    """Two-layer (memory, optional disk) content-addressed cache.
+
+    ``namespace`` scopes every key: two caches with the same disk root but
+    different namespaces never collide, while any number of *processes*
+    sharing one (root, namespace) pair — the service's concurrent tenants —
+    transparently share entries, because keys are pure content fingerprints
+    and the disk layer's writes are atomic. ``None`` (the default) keeps
+    the historical un-namespaced keys, so existing disk caches stay valid.
+
+    ``disk_breaker`` (a :class:`repro.robust.CircuitBreaker`) guards the
+    disk tier: every probe whose I/O errors, feeds the breaker, and while
+    it is open the disk layer is skipped entirely — the cache degrades to
+    memory-only instead of stalling every request on a sick mount.
+    """
 
     def __init__(self, max_entries: int = 128,
-                 disk_root: str | os.PathLike[str] | None = None) -> None:
+                 disk_root: str | os.PathLike[str] | None = None,
+                 namespace: str | None = None,
+                 disk_breaker: "Any | None" = None) -> None:
         self.memory = LRUCache(max_entries=max_entries)
         self.disk = DiskStore(disk_root) if disk_root is not None else None
+        self.namespace = namespace
+        self.disk_breaker = disk_breaker
         self.enabled = True
         self.events: list[str] = []
 
     def key_for(self, key_parts: Any) -> str:
         """Fingerprint of the key parts; exposed for tests and diagnostics."""
+        if self.namespace is not None:
+            key_parts = ("namespace", self.namespace, key_parts)
         return stable_fingerprint(key_parts)
+
+    def _disk_allowed(self, kind: str) -> bool:
+        if self.disk is None:
+            return False
+        if self.disk_breaker is not None and not self.disk_breaker.allow():
+            self.events.append(f"breaker:disk-skip:{kind}")
+            _metrics().counter("cache.disk.breaker_skips").inc()
+            return False
+        return True
+
+    def _disk_probe_done(self, errors_before: int) -> None:
+        """Feed the breaker with the probe's I/O outcome."""
+        if self.disk_breaker is None or self.disk is None:
+            return
+        if self.disk.io_errors > errors_before:
+            self.disk_breaker.record_failure()
+        else:
+            self.disk_breaker.record_success()
 
     def get_or_compute(self, key_parts: Any, compute: Callable[[], Any],
                        kind: str = "result") -> Any:
@@ -107,8 +144,10 @@ class ResultCache:
             self.events.append(f"hit:memory:{kind}")
             _metrics().counter("cache.memory.hits").inc()
             return value
-        if self.disk is not None:
+        if self._disk_allowed(kind):
+            errs = self.disk.io_errors
             value = self.disk.get(key, _MISS)
+            self._disk_probe_done(errs)
             if value is not _MISS:
                 self.events.append(f"hit:disk:{kind}")
                 _metrics().counter("cache.disk.hits").inc()
@@ -119,8 +158,10 @@ class ResultCache:
         _metrics().counter("cache.misses").inc()
         value = compute()
         self.memory.put(key, value)
-        if self.disk is not None:
+        if self._disk_allowed(kind):
+            errs = self.disk.io_errors
             self.disk.put(key, value)
+            self._disk_probe_done(errs)
         self._note_evictions(before)
         return value
 
@@ -169,10 +210,17 @@ def default_cache() -> ResultCache:
 
 
 def configure(max_entries: int = 128,
-              disk_root: str | os.PathLike[str] | None = None) -> ResultCache:
-    """Replace the process-wide cache with one using the given settings."""
+              disk_root: str | os.PathLike[str] | None = None,
+              namespace: str | None = None,
+              disk_breaker: "Any | None" = None) -> ResultCache:
+    """Replace the process-wide cache with one using the given settings.
+
+    Service workers use ``namespace`` + ``disk_breaker`` to point every
+    tenant at one shared, breaker-guarded disk tier under the spool.
+    """
     global _DEFAULT
-    _DEFAULT = ResultCache(max_entries=max_entries, disk_root=disk_root)
+    _DEFAULT = ResultCache(max_entries=max_entries, disk_root=disk_root,
+                           namespace=namespace, disk_breaker=disk_breaker)
     return _DEFAULT
 
 

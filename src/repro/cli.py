@@ -21,8 +21,15 @@ Subcommands
     per-phase time/error breakdown of a recorded trace.
 ``doctor``
     Environment self-check: Python/numpy versions, cache-dir writability,
-    shared-memory availability, seed reproducibility. Exits nonzero when
-    any check fails.
+    shared-memory availability, seed reproducibility, service spool health
+    (writability + flock, fd headroom, multiprocessing start method, stale
+    leases). Exits nonzero when any check fails.
+``serve`` / ``submit`` / ``jobs``
+    The fault-tolerant job service (:mod:`repro.service`): ``serve`` runs
+    N supervised worker shards against a durable spool directory,
+    ``submit`` enqueues sweep/fit jobs (optionally blocking on the result
+    with ``--wait``), ``jobs`` lists the queue. Clients and daemon
+    coordinate purely through the spool directory.
 
 Robustness
 ----------
@@ -61,9 +68,12 @@ accept ``--parallel``, ``--retries N``, ``--task-timeout SEC``,
 ``--checkpoint PATH``, and ``--resume``; any of the latter four wraps the
 run in a :class:`repro.parallel.ResilientExecutor`. Expected failures from
 the :mod:`repro.errors` taxonomy exit with distinct codes (TaskFailed 3,
-TaskTimeout 4, SweepAborted 5, CheckpointError 6) and a one-line stderr
-message instead of a traceback. A hidden ``--chaos`` flag drives the
-failure-injection harness for chaos runs (e.g. ``--chaos exc=0.1,crash=0.01``).
+TaskTimeout 4, SweepAborted 5, CheckpointError 6, ServiceError 11,
+ServiceOverloadError 12, CircuitOpenError 13, JobDeadlineExceeded 14) and a
+one-line stderr message instead of a traceback. A hidden ``--chaos`` flag
+drives the failure-injection harness for chaos runs (e.g.
+``--chaos exc=0.1,crash=0.01``); ``serve`` has matching hidden
+``--chaos-sigkill-at`` / ``--chaos-slow`` flags for supervision drills.
 
 Examples
 --------
@@ -293,7 +303,72 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "doctor",
         help="check the environment (python/numpy, cache dir, shared "
-             "memory, seed reproducibility); nonzero exit on failure")
+             "memory, seed reproducibility, service spool); nonzero exit "
+             "on failure")
+
+    p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant sweep/prediction job service: N "
+             "supervised worker shards draining a durable spool")
+    p.add_argument("--spool", required=True, metavar="DIR",
+                   help="spool directory (created if missing); clients "
+                        "submit into the same directory")
+    p.add_argument("--workers", type=int, default=2, metavar="N")
+    p.add_argument("--max-depth", type=int, default=64, metavar="N",
+                   help="admission bound: pending+running jobs beyond this "
+                        "are rejected with the overload exit code")
+    p.add_argument("--lease-ttl", type=float, default=30.0, metavar="SEC",
+                   help="job lease lifetime; a crashed worker's job "
+                        "re-dispatches after this long")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   metavar="SEC",
+                   help="a live worker silent this long is killed and "
+                        "restarted")
+    p.add_argument("--max-restarts", type=int, default=5, metavar="N",
+                   help="restart budget per worker slot")
+    p.add_argument("--drain-on-idle", action="store_true",
+                   help="exit cleanly once the queue is empty (batch mode)")
+    p.add_argument("--idle-grace", type=float, default=3.0, metavar="SEC",
+                   help="with --drain-on-idle, only drain after the queue "
+                        "stays empty this long (lets the first submit land)")
+    p.add_argument("--max-runtime", type=float, default=None, metavar="SEC",
+                   help="drain and exit after this long")
+    # Chaos harness for supervision drills; hidden like the sweep one.
+    p.add_argument("--chaos-sigkill-at", type=int, default=None,
+                   help=argparse.SUPPRESS)
+    p.add_argument("--chaos-slow", type=float, default=None,
+                   help=argparse.SUPPRESS)
+    _add_common(p)
+
+    p = sub.add_parser("submit", help="submit a job to a running service spool")
+    p.add_argument("--spool", required=True, metavar="DIR")
+    p.add_argument("kind", choices=["sweep", "fit"])
+    p.add_argument("app", choices=sorted(SPEC2000_PROFILES))
+    p.add_argument("--start", type=int, default=0,
+                   help="design-space slice start (sweep jobs)")
+    p.add_argument("--stop", type=int, default=None,
+                   help="design-space slice stop (sweep jobs)")
+    p.add_argument("--n-instructions", type=int, default=100_000_000)
+    p.add_argument("--model", default="LR-E",
+                   help="model label for fit jobs (default LR-E)")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="sampling rate for fit jobs")
+    p.add_argument("--robust", action="store_true",
+                   help="fit jobs train through the degradation ladder")
+    p.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                   help="wall-clock deadline from submission; the worker "
+                        "aborts late jobs with the deadline exit code")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job finishes; exit with the "
+                        "job's own error code on failure")
+    p.add_argument("--timeout", type=float, default=300.0, metavar="SEC",
+                   help="with --wait: give up after this long")
+    _add_common(p)
+
+    p = sub.add_parser("jobs", help="list the jobs in a service spool")
+    p.add_argument("--spool", required=True, metavar="DIR")
+    p.add_argument("--json", action="store_true",
+                   help="one JSON object per job instead of the table")
 
     return parser
 
@@ -442,6 +517,77 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, WorkerSupervisor
+
+    injector = None
+    if args.chaos_sigkill_at is not None or args.chaos_slow is not None:
+        injector = FaultInjector(
+            seed=args.seed,
+            sigkill_indices=(args.chaos_sigkill_at,)
+            if args.chaos_sigkill_at is not None else (),
+            slow_indices=(0,) if args.chaos_slow is not None else (),
+            slow_seconds=args.chaos_slow or 0.2,
+        )
+    config = ServiceConfig(
+        root=args.spool,
+        workers=args.workers,
+        max_depth=args.max_depth,
+        lease_ttl=args.lease_ttl,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_restarts=args.max_restarts,
+        drain_on_idle=args.drain_on_idle,
+        idle_grace=args.idle_grace,
+        max_runtime=args.max_runtime,
+        seed=args.seed,
+        injector=injector,
+    )
+    sup = WorkerSupervisor(config)
+    print(f"repro serve: {args.workers} worker(s) on spool {args.spool} "
+          f"(max depth {args.max_depth}, lease ttl {args.lease_ttl:g}s)",
+          file=sys.stderr)
+    rc = sup.run()
+    for event in sup.events:
+        print(f"repro serve: {event}", file=sys.stderr)
+    return rc
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import JobSpec, submit_job, wait_for
+
+    spec = JobSpec(
+        kind=args.kind, app=args.app, start=args.start, stop=args.stop,
+        n_instructions=args.n_instructions, model=args.model,
+        rate=args.rate, seed=args.seed, robust=args.robust)
+    jid = submit_job(args.spool, spec, deadline_s=args.deadline)
+    print(jid)
+    if not args.wait:
+        return 0
+    view = wait_for(args.spool, jid, timeout=args.timeout)
+    print(f"repro submit: {view.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service import format_jobs, list_jobs
+
+    views = list_jobs(args.spool)
+    if args.json:
+        for v in views:
+            record = {
+                "id": v.id, "state": v.state, "spec": v.spec.as_dict(),
+                "worker": v.worker, "n_leases": v.n_leases,
+                "n_expired": v.n_expired, "error_type": v.error_type,
+                "message": v.message, "elapsed": v.elapsed,
+            }
+            print(_json.dumps(record, sort_keys=True))
+    else:
+        print(format_jobs(views))
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -502,6 +648,9 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "obs": _cmd_obs,
     "doctor": _cmd_doctor,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 

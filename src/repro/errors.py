@@ -25,9 +25,24 @@ The modeling layer adds its own failure modes (see :mod:`repro.robust`):
 * :class:`DegradationExhausted` — every rung of a fallback ladder failed,
   including the mean baseline; no trustworthy model could be deployed.
 
+The service layer (see :mod:`repro.service`) adds the failure modes of a
+long-running multi-process job daemon:
+
+* :class:`ServiceError` — base for service-side failures (corrupt spool,
+  supervisor gave up, worker pool unrecoverable).
+* :class:`ServiceOverloadError` — admission control rejected a submission
+  because the queue is at its configured depth; clients back off instead of
+  hanging.
+* :class:`CircuitOpenError` — a circuit breaker is open and the guarded
+  backend (disk cache tier, expensive model fits) is being skipped.
+* :class:`JobDeadlineExceeded` — a job blew its wall-clock deadline; the
+  worker aborted it rather than let one slow job starve the queue.
+
 Each class carries a distinct ``exit_code`` that :func:`repro.cli.main`
 returns, so shell scripts can distinguish "a task timed out" from "the
-journal is corrupt" without scraping stderr.
+journal is corrupt" without scraping stderr. :func:`exit_code_for` maps an
+error-type *name* back to its code, for consumers (the service client) that
+only see a serialized failure record.
 """
 
 from __future__ import annotations
@@ -45,8 +60,13 @@ __all__ = [
     "NumericalError",
     "ModelValidationError",
     "DegradationExhausted",
+    "ServiceError",
+    "ServiceOverloadError",
+    "CircuitOpenError",
+    "JobDeadlineExceeded",
     "InjectedFault",
     "TaskFailure",
+    "exit_code_for",
 ]
 
 
@@ -197,6 +217,78 @@ class DegradationExhausted(ModelValidationError):
     exit_code = 10
 
 
+class ServiceError(ReproError):
+    """A failure inside the sweep/prediction job service itself.
+
+    Raised for spool corruption, an unrecoverable worker pool (restart
+    budget exhausted with jobs still queued), or any other daemon-side
+    condition the submitting client did not cause.
+    """
+
+    exit_code = 11
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control rejected a submission: the queue is full.
+
+    Typed load shedding — the service answers "try again later" instead of
+    hanging the client or growing the spool without bound. ``depth`` and
+    ``max_depth`` carry the queue state at rejection time.
+    """
+
+    exit_code = 12
+
+    def __init__(self, message: str, depth: int = 0, max_depth: int = 0) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.max_depth = max_depth
+
+
+class CircuitOpenError(ServiceError):
+    """A circuit breaker is open; the guarded backend was not called.
+
+    ``breaker`` names the tripped circuit and ``retry_after`` is the
+    seconds remaining until the breaker half-opens and lets a probe
+    through (0.0 when unknown).
+    """
+
+    exit_code = 13
+
+    def __init__(self, message: str, breaker: str = "",
+                 retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.breaker = breaker
+        self.retry_after = retry_after
+
+
+class JobDeadlineExceeded(ServiceError):
+    """A service job exceeded its wall-clock deadline and was aborted.
+
+    Deadlines propagate from the submission into the worker's per-task
+    budget; the worker raises this inside the task stream so the sweep
+    aborts promptly instead of finishing late work nobody is waiting for.
+    """
+
+    exit_code = 14
+
+    def __init__(self, message: str, job_id: str = "",
+                 deadline_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.deadline_s = deadline_s
+
+
+def exit_code_for(error_type: str) -> int:
+    """Exit code for an error-type *name* (serialized failure records).
+
+    Service failure records cross process boundaries as JSON, so the
+    client maps the recorded class name back to the taxonomy's exit code;
+    unknown names fall back to the generic :class:`ReproError` code.
+    """
+    cls = _BY_NAME.get(error_type)
+    return cls.exit_code if cls is not None else ReproError.exit_code
+
+
 class InjectedFault(RuntimeError):
     """Transient fault raised by the failure-injection harness.
 
@@ -204,3 +296,15 @@ class InjectedFault(RuntimeError):
     task exceptions, and the resilient layer must treat them exactly like any
     other transient error (retry, then record as a :class:`TaskFailure`).
     """
+
+
+#: Name -> class for every typed error, resolved once at import time.
+_BY_NAME: dict[str, type[ReproError]] = {
+    cls.__name__: cls
+    for cls in (
+        ReproError, TaskFailed, TaskTimeout, SweepAborted, CheckpointError,
+        DataIntegrityError, NumericalError, ModelValidationError,
+        DegradationExhausted, ServiceError, ServiceOverloadError,
+        CircuitOpenError, JobDeadlineExceeded,
+    )
+}

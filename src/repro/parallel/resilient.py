@@ -39,6 +39,7 @@ import json
 import multiprocessing
 import os
 import pickle
+import signal
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED
@@ -136,10 +137,29 @@ class CheckpointJournal:
     loses at most the task in flight; a truncated final line (the crash
     artifact) is tolerated on load, any earlier corruption raises
     :class:`~repro.errors.CheckpointError`.
+
+    Service workers sharing a checkpoint directory pass ``lock=True``: an
+    advisory ``flock`` on a ``<path>.lock`` sidecar (see
+    :class:`repro.util.locking.FileLock`) makes the journal single-writer,
+    so two workers racing one job after a lease-expiry misjudgment cannot
+    interleave torn JSONL lines. The lock is kernel-released when the
+    holder dies, so a SIGKILLed worker never wedges the journal.
     """
 
-    def __init__(self, path: str | Path, resume: bool = False) -> None:
+    def __init__(self, path: str | Path, resume: bool = False,
+                 lock: bool = False) -> None:
         self.path = Path(path)
+        self._lock = None
+        if lock:
+            from repro.util.locking import FileLock
+
+            self._lock = FileLock(self.path.with_name(self.path.name + ".lock"))
+            if not self._lock.acquire(blocking=False):
+                self._lock = None
+                raise CheckpointError(
+                    f"checkpoint journal {self.path} is locked by another "
+                    "writer (advisory flock held elsewhere)"
+                )
         self._completed: dict[str, Any] = {}
         if resume:
             self._completed = self._load()
@@ -197,6 +217,8 @@ class CheckpointJournal:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        if self._lock is not None:
+            self._lock.release()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"CheckpointJournal({str(self.path)!r}, n_completed={self.n_completed})"
@@ -224,12 +246,21 @@ class FaultInjector:
     fail_once_indices: tuple[int, ...] = ()  # InjectedFault on attempt 1 only
     fail_indices: tuple[int, ...] = ()       # InjectedFault on every attempt
     crash_indices: tuple[int, ...] = ()      # os._exit on every (worker) attempt
+    # Process-level faults for service supervision drills. SIGKILL models a
+    # worker dying at the signal level (no atexit, no cleanup, nothing the
+    # interpreter can intercept) — the case lease expiry and heartbeat
+    # supervision exist for. Slow faults model a wedged-but-alive worker.
+    sigkill_indices: tuple[int, ...] = ()    # SIGKILL self on every (worker) attempt
+    slow_once_indices: tuple[int, ...] = ()  # sleep slow_seconds on attempt 1 only
+    slow_indices: tuple[int, ...] = ()       # sleep slow_seconds on every attempt
+    slow_seconds: float = 0.2
 
     @classmethod
     def parse(cls, spec: str, seed: int = 0) -> "FaultInjector":
         """Build from a CLI spec like ``"exc=0.1,delay=0.05,crash=0.01"``."""
         keys = {"exc": "p_exception", "delay": "p_delay", "crash": "p_crash",
-                "delay-seconds": "delay_seconds", "seed": "seed"}
+                "delay-seconds": "delay_seconds", "seed": "seed",
+                "slow-seconds": "slow_seconds"}
         kwargs: dict[str, Any] = {"seed": seed}
         for part in filter(None, (p.strip() for p in spec.split(","))):
             key, _, value = part.partition("=")
@@ -242,8 +273,14 @@ class FaultInjector:
 
     def fire(self, index: int, attempt: int) -> None:
         """Maybe inject a fault for this (task, attempt). Called in-task."""
+        if index in self.sigkill_indices:
+            self._sigkill()
         if index in self.crash_indices:
             self._crash()
+        if index in self.slow_indices or (
+            attempt == 1 and index in self.slow_once_indices
+        ):
+            time.sleep(self.slow_seconds)
         if index in self.fail_indices or (
             attempt == 1 and index in self.fail_once_indices
         ):
@@ -268,6 +305,15 @@ class FaultInjector:
         # writer (and the test process) down with it.
         if multiprocessing.parent_process() is not None:
             os._exit(17)
+
+    @staticmethod
+    def _sigkill() -> None:
+        # SIGKILL-level death: unlike _crash's os._exit this cannot be
+        # confused with an orderly (if abrupt) interpreter exit — the kernel
+        # tears the process down mid-instruction. Worker processes only,
+        # same as _crash.
+        if multiprocessing.parent_process() is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 class _TaskCall:

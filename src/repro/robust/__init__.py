@@ -19,10 +19,16 @@ silent failures into observable, recoverable ones:
   (NN-E → NN-Q → LR-S → LR-E → mean baseline), recording every step as an
   obs counter plus trace event; exhausting the ladder raises
   :class:`~repro.errors.DegradationExhausted`.
+* :mod:`repro.robust.breaker` — **circuit breakers**: three-state
+  (closed/open/half-open) guards that stop hammering a backend that keeps
+  failing; the service wires them around the disk cache tier and the
+  ladder's expensive NN rungs.
 * :mod:`repro.robust.chaos` — **data-layer fault injection** (byte
   corruption, NaN columns, adversarial duplicates) extending the PR 1
   executor-level :class:`~repro.parallel.FaultInjector`, to prove the
-  guards and the ladder end-to-end.
+  guards and the ladder end-to-end. Process-level faults (SIGKILL a live
+  worker mid-task, seeded slow workers) live on ``FaultInjector`` itself
+  and drive the service supervision drills.
 * :mod:`repro.robust.doctor` — **environment self-check** behind
   ``repro doctor``.
 
@@ -35,6 +41,7 @@ inputs take the exact same code paths as before and remain bit-identical.
 
 from __future__ import annotations
 
+from repro.robust.breaker import CircuitBreaker
 from repro.robust.chaos import DataFaultInjector
 from repro.robust.doctor import DoctorCheck, DoctorReport, run_doctor
 from repro.robust.gates import GateCheck, GateResult, ValidationGate
@@ -60,6 +67,7 @@ __all__ = [
     "DEFAULT_RUNGS",
     "MEAN_BASELINE",
     "QUARANTINE_SCHEMA",
+    "CircuitBreaker",
     "DataFaultInjector",
     "DegradationLadder",
     "DoctorCheck",

@@ -19,21 +19,47 @@ failure classes the ingest guards and degradation ladder exist to absorb:
 
 Every decision is a pure function of the injector seed, so a chaos test
 run is exactly reproducible.
+
+Process-level chaos for the service layer reuses the execution-level
+:class:`~repro.parallel.FaultInjector` (re-exported here for discovery):
+``sigkill_indices`` kills a live worker mid-task at the signal level —
+no cleanup, no atexit, exactly what lease expiry and heartbeat supervision
+must absorb — and ``slow_indices``/``slow_once_indices`` model a wedged
+worker via seeded sleeps. :func:`sigkill_process` is the external variant
+used by supervision drills that kill a worker *from outside* (the CI
+kill-a-worker drill reads the victim's pid from its heartbeat file).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
+import signal
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
+from repro.parallel.resilient import FaultInjector
 from repro.specdata.schema import PARAMETER_FIELDS, SystemRecord
 from repro.util.rng import child_rng
 
-__all__ = ["DataFaultInjector"]
+__all__ = ["DataFaultInjector", "FaultInjector", "sigkill_process"]
+
+
+def sigkill_process(pid: int) -> bool:
+    """SIGKILL ``pid`` from outside; False when it is already gone.
+
+    The external counterpart of ``FaultInjector.sigkill_indices``:
+    supervision drills use it to murder a live worker they picked from the
+    spool's heartbeat files, proving lease expiry and restart end to end.
+    """
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        return False
+    return True
 
 #: Numeric parameter fields eligible for NaN injection.
 _NUMERIC_PARAMS: tuple[str, ...] = tuple(

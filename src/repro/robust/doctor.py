@@ -154,6 +154,93 @@ def _check_seed_reproducibility() -> DoctorCheck:
     return DoctorCheck("seed-repro", True, "named streams + pinned PCG64 draw ok")
 
 
+def _check_spool_dir() -> DoctorCheck:
+    """Service spool writability (``REPRO_SPOOL_DIR``; unset is fine)."""
+    root = os.environ.get("REPRO_SPOOL_DIR")
+    if not root:
+        return DoctorCheck("spool-dir", True,
+                           "REPRO_SPOOL_DIR unset (no service spool configured)")
+    path = Path(root)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(dir=path, prefix=".doctor-", suffix=".probe"):
+            pass
+    except OSError as exc:
+        return DoctorCheck("spool-dir", False, f"{path}: not writable ({exc})")
+    from repro.util.locking import FileLock
+
+    lock = FileLock(path / ".doctor.lock")
+    try:
+        if not lock.acquire(blocking=False):
+            return DoctorCheck("spool-dir", False,
+                               f"{path}: flock probe could not acquire")
+    finally:
+        lock.release()
+    mode = "flock enforced" if lock.enforced else "flock UNENFORCED on this platform"
+    return DoctorCheck("spool-dir", lock.enforced, f"{path}: writable, {mode}")
+
+
+def _check_fd_headroom() -> DoctorCheck:
+    """A serving daemon needs fd headroom (spool log, journals, heartbeats)."""
+    try:
+        import resource
+
+        soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    except (ImportError, OSError):
+        return DoctorCheck("fd-headroom", True,
+                           "RLIMIT_NOFILE unavailable (not a POSIX host)")
+    try:
+        n_open = len(os.listdir("/proc/self/fd"))
+    except OSError:
+        n_open = 0  # no procfs: report the limit alone
+    headroom = soft - n_open
+    ok = headroom >= 64
+    return DoctorCheck(
+        "fd-headroom", ok,
+        f"{n_open} open of {soft} allowed ({headroom} free"
+        + ("" if ok else "; service workers need >= 64") + ")")
+
+
+def _check_start_method() -> DoctorCheck:
+    """Worker spawning must actually work (containers can break semaphores)."""
+    import multiprocessing
+
+    method = multiprocessing.get_start_method(allow_none=True) or \
+        multiprocessing.get_start_method()
+    try:
+        lock = multiprocessing.Lock()
+        with lock:
+            pass
+    except (OSError, ImportError) as exc:
+        return DoctorCheck(
+            "mp-start-method", False,
+            f"{method}: cannot create a multiprocessing lock ({exc}) — "
+            "worker supervision will not start")
+    return DoctorCheck("mp-start-method", True,
+                       f"{method}: semaphore/lock creation ok")
+
+
+def _check_stale_leases() -> DoctorCheck:
+    """Expired-but-unfinished jobs in the configured spool (re-dispatchable)."""
+    root = os.environ.get("REPRO_SPOOL_DIR")
+    if not root or not Path(root).is_dir():
+        return DoctorCheck("stale-leases", True, "no spool to inspect")
+    from repro.errors import ServiceError
+    from repro.service import JobSpool
+
+    try:
+        stale = JobSpool.open(root).stale_leases()
+    except ServiceError as exc:
+        return DoctorCheck("stale-leases", False, f"spool unreadable: {exc}")
+    if not stale:
+        return DoctorCheck("stale-leases", True, "none (queue healthy)")
+    worst = max(stale, key=lambda v: v.n_expired)
+    return DoctorCheck(
+        "stale-leases", True,
+        f"{len(stale)} job(s) abandoned by dead workers (will re-dispatch; "
+        f"worst: {worst.id[:12]} with {worst.n_expired} expired lease(s))")
+
+
 _CHECKS: tuple[Callable[[], DoctorCheck], ...] = (
     _check_python,
     _check_numpy,
@@ -161,6 +248,10 @@ _CHECKS: tuple[Callable[[], DoctorCheck], ...] = (
     _check_cache_dir,
     _check_shm,
     _check_seed_reproducibility,
+    _check_spool_dir,
+    _check_fd_headroom,
+    _check_start_method,
+    _check_stale_leases,
 )
 
 

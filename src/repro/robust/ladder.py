@@ -24,7 +24,7 @@ bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.obs import phase as _obs_phase
 from repro.obs.metrics import default_registry as _metrics
 from repro.parallel.executor import Executor
 from repro.robust.gates import GateResult, ValidationGate
+
+if TYPE_CHECKING:  # breaker imports obs only; cycle-free, but keep it lazy
+    from repro.robust.breaker import CircuitBreaker
 
 __all__ = [
     "MEAN_BASELINE",
@@ -85,7 +88,7 @@ class LadderStep:
     """One rung attempt: which model, what happened."""
 
     label: str
-    outcome: str   # "accepted" | "gate-failed" | "numerical-failure"
+    outcome: str   # "accepted" | "gate-failed" | "numerical-failure" | "breaker-open"
     detail: str
 
     def summary(self) -> str:
@@ -151,6 +154,8 @@ class DegradationLadder:
         rng: np.random.Generator,
         n_cv_reps: int = 5,
         executor: Executor | None = None,
+        breaker: "CircuitBreaker | None" = None,
+        guarded_rungs: tuple[str, ...] | None = None,
     ) -> tuple[PredictiveModel, ErrorEstimate, LadderOutcome]:
         """Fit ``label`` with gate checks, degrading down the ladder on failure.
 
@@ -158,13 +163,32 @@ class DegradationLadder:
         ``estimate_error`` first (same RNG draws), then one fit — so clean
         runs are bit-identical. Returns the deployed model, its estimate,
         and the :class:`LadderOutcome` describing the walk.
+
+        ``breaker`` (a :class:`~repro.robust.breaker.CircuitBreaker`) guards
+        the expensive rungs — by default every NN rung. While the breaker is
+        open those rungs are skipped outright (recorded as ``breaker-open``
+        steps), so a service worker that has watched NN training fail
+        repeatedly trips straight to the cheap linear rungs instead of
+        burning a training budget per job; each guarded failure (numerical
+        or gate) feeds the breaker, each guarded acceptance resets it.
         """
         outcome = LadderOutcome(requested=label, deployed=label)
         attempts: list[tuple[str, ModelBuilder]] = [(label, builder)]
         attempts += [(r, self.builder_for(r)) for r in self._fallbacks(label)]
+        if guarded_rungs is None:
+            guarded_rungs = tuple(
+                r for r, _ in attempts if r.startswith("NN"))
 
         for rung_label, rung_builder in attempts:
             is_floor = rung_label == MEAN_BASELINE
+            guarded = breaker is not None and rung_label in guarded_rungs
+            if guarded and not breaker.allow():
+                outcome.steps.append(LadderStep(
+                    label=rung_label, outcome="breaker-open",
+                    detail=f"circuit {breaker.name!r} open; rung skipped "
+                           f"(retry in {breaker.retry_after():.1f}s)"))
+                self._note_degrade(outcome, rung_label, "breaker-open")
+                continue
             try:
                 with _obs_phase("ladder-try", model=rung_label, requested=label):
                     estimate = estimate_error(rung_builder, train, rng,
@@ -176,12 +200,16 @@ class DegradationLadder:
                     gate_result: GateResult = self.gate.check(
                         model, train, None if is_floor else estimate)
             except NumericalError as exc:
+                if guarded:
+                    breaker.record_failure()
                 outcome.steps.append(LadderStep(
                     label=rung_label, outcome="numerical-failure",
                     detail=f"{exc.cause}: {exc}"))
                 self._note_degrade(outcome, rung_label, f"numerical-failure:{exc.cause}")
                 continue
             if gate_result.passed:
+                if guarded:
+                    breaker.record_success()
                 outcome.steps.append(LadderStep(
                     label=rung_label, outcome="accepted",
                     detail=gate_result.summary()))
@@ -193,6 +221,8 @@ class DegradationLadder:
                 _annotate("ladder-deployed", requested=label, deployed=rung_label,
                           degraded=outcome.degraded, n_steps=len(outcome.steps))
                 return model, estimate, outcome
+            if guarded:
+                breaker.record_failure()
             outcome.steps.append(LadderStep(
                 label=rung_label, outcome="gate-failed",
                 detail="; ".join(gate_result.failures())))

@@ -1,0 +1,56 @@
+"""Fault-tolerant sweep/prediction job service.
+
+The service turns the library's one-shot experiment drivers into a
+long-running daemon that *degrades instead of dying*:
+
+* :mod:`repro.service.jobs` — deterministic job specs whose content
+  fingerprint is the idempotency key for queue, results, and checkpoints.
+* :mod:`repro.service.spool` — the durable on-disk queue: an append-only,
+  flock-guarded JSONL event log with lease-based ownership (crashed
+  workers' jobs re-dispatch on lease expiry) and bounded-depth admission
+  control (:class:`~repro.errors.ServiceOverloadError` instead of unbounded
+  queueing).
+* :mod:`repro.service.worker` — the shard loop: checkpoint-journaled
+  execution (bit-identical resume), per-job deadlines, heartbeats, and
+  circuit breakers around model fitting and the shared disk cache.
+* :mod:`repro.service.supervisor` — process supervision: crash detection,
+  hung-worker SIGKILL, capped seeded restart backoff, graceful drain.
+* :mod:`repro.service.client` — filesystem-only submit/wait/inspect with
+  typed failures whose exit codes survive the process boundary.
+
+Wired to the CLI as ``repro serve``, ``repro submit``, and ``repro jobs``.
+"""
+
+from repro.service.client import (
+    JobFailed,
+    format_jobs,
+    list_jobs,
+    submit_job,
+    wait_for,
+)
+from repro.service.jobs import JOB_KINDS, JOB_STATES, JobSpec, JobView, job_id
+from repro.service.spool import SPOOL_SCHEMA, JobSpool, SpoolConfig
+from repro.service.supervisor import ServiceConfig, WorkerSupervisor
+from repro.service.worker import Worker, WorkerConfig, drain_queue, worker_main
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "SPOOL_SCHEMA",
+    "JobFailed",
+    "JobSpec",
+    "JobSpool",
+    "JobView",
+    "ServiceConfig",
+    "SpoolConfig",
+    "Worker",
+    "WorkerConfig",
+    "WorkerSupervisor",
+    "drain_queue",
+    "format_jobs",
+    "job_id",
+    "list_jobs",
+    "submit_job",
+    "wait_for",
+    "worker_main",
+]

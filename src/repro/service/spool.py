@@ -1,0 +1,375 @@
+"""Durable on-disk job queue: JSONL event spool with leases and admission.
+
+The spool is the service's single source of truth, designed so that any
+process — supervisor, worker shard, submitting client, ``repro jobs``, the
+doctor — can open the same directory and agree on the queue state, and so
+that no single crash (client, worker, or daemon; exception or SIGKILL) can
+lose an accepted job or corrupt the log.
+
+Layout of a spool directory::
+
+    spool.jsonl        append-only event log (the queue itself)
+    spool.lock         advisory flock serializing appends and claims
+    config.json        admission/lease settings (written by the daemon)
+    results/           content-addressed job results (checksummed DiskStore)
+    checkpoints/       per-job checkpoint journals (resume after crashes)
+    hb/                worker heartbeat files ({pid, t, job}, atomic writes)
+    DRAIN              drain flag: present => stop claiming new jobs
+
+**Events, not states.** The log records immutable facts — ``submit``,
+``lease``, ``done``, ``fail`` — one JSON object per line; the current state
+of a job is a pure fold over its events (:meth:`JobSpool.jobs`). Appends
+happen under the flock, with flush+fsync, so a line is either fully present
+or (after a crash mid-write) a torn tail that the fold tolerates exactly
+like :class:`~repro.parallel.CheckpointJournal` does.
+
+**Leases, not assignments.** Claiming a job appends a ``lease`` event with
+a wall-clock expiry. A worker that dies mid-job simply stops renewing its
+existence; once the lease expires the job is claimable again (re-dispatch),
+and the per-job checkpoint journal plus the content-addressed result store
+make the re-execution idempotent. ``done``/``fail`` from a stale lease
+holder is harmless: the fold keeps the first terminal event.
+
+**Admission control.** ``submit`` sheds load instead of queueing without
+bound: when pending+running depth reaches ``max_depth`` it raises the typed
+:class:`~repro.errors.ServiceOverloadError` (its own CLI exit code), so an
+overloaded service answers "try later" in bounded time. Submitting a spec
+that is already queued, running, or done is *free* — the job id is a
+content fingerprint, so concurrent tenants share one execution and one
+cached result; resubmitting a *failed* job re-opens it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.cache.disk import DiskStore
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.obs.metrics import default_registry as _metrics
+from repro.service.jobs import JobSpec, JobView, job_id
+from repro.util.locking import FileLock
+
+__all__ = ["SPOOL_SCHEMA", "SpoolConfig", "JobSpool"]
+
+SPOOL_SCHEMA = "repro-spool/1"
+
+_TERMINAL = ("done", "fail")
+
+
+class SpoolConfig:
+    """Admission/lease settings shared by every process using a spool."""
+
+    def __init__(self, max_depth: int = 64, lease_ttl: float = 30.0) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        self.max_depth = max_depth
+        self.lease_ttl = lease_ttl
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"schema": SPOOL_SCHEMA, "max_depth": self.max_depth,
+                "lease_ttl": self.lease_ttl}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "SpoolConfig":
+        return cls(max_depth=int(d.get("max_depth", 64)),
+                   lease_ttl=float(d.get("lease_ttl", 30.0)))
+
+
+class JobSpool:
+    """One spool directory: durable queue + result store + heartbeats."""
+
+    def __init__(self, root: str | os.PathLike[str],
+                 config: SpoolConfig | None = None) -> None:
+        self.root = Path(root)
+        self.log_path = self.root / "spool.jsonl"
+        self.config_path = self.root / "config.json"
+        self.config = config if config is not None else SpoolConfig()
+        self.results = DiskStore(self.root / "results")
+        self._lock = FileLock(self.root / "spool.lock")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def ensure(cls, root: str | os.PathLike[str],
+               config: SpoolConfig | None = None) -> "JobSpool":
+        """Open ``root`` as a spool, creating/refreshing its config.
+
+        With ``config=None`` an existing ``config.json`` wins and a missing
+        one gets defaults; an explicit config always (re)writes the file —
+        that is how ``repro serve`` establishes the admission settings every
+        client then honours.
+        """
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        spool = cls(root, config=config)
+        if config is None and spool.config_path.exists():
+            spool.config = cls._read_config(spool.config_path)
+        else:
+            tmp = spool.config_path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(spool.config.as_dict(), indent=2) + "\n")
+            os.replace(tmp, spool.config_path)
+        return spool
+
+    @classmethod
+    def open(cls, root: str | os.PathLike[str]) -> "JobSpool":
+        """Open an existing spool, honouring its on-disk config."""
+        root = Path(root)
+        if not root.is_dir():
+            raise ServiceError(f"no spool directory at {root}")
+        config = (cls._read_config(root / "config.json")
+                  if (root / "config.json").exists() else SpoolConfig())
+        return cls(root, config=config)
+
+    @staticmethod
+    def _read_config(path: Path) -> SpoolConfig:
+        try:
+            return SpoolConfig.from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"unreadable spool config {path}: {exc}") from exc
+
+    # -- event log -----------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        # Caller holds the flock. O_APPEND + one write + fsync: a crash
+        # leaves at most a torn final line, which the fold tolerates.
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fd = os.open(self.log_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _events(self) -> Iterable[dict[str, Any]]:
+        if not self.log_path.exists():
+            return []
+        lines = self.log_path.read_text().splitlines()
+        events = []
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as exc:
+                if lineno == len(lines) - 1:
+                    break  # torn tail from a crash mid-append
+                raise ServiceError(
+                    f"corrupt spool log {self.log_path} at line "
+                    f"{lineno + 1}: {exc}") from exc
+        return events
+
+    def jobs(self, now: float | None = None) -> dict[str, JobView]:
+        """Fold the event log into id -> :class:`JobView`, submit order."""
+        now = time.time() if now is None else now
+        raw: dict[str, dict[str, Any]] = {}
+        for ev in self._events():
+            kind, jid = ev.get("ev"), ev.get("id")
+            if not jid:
+                continue
+            rec = raw.get(jid)
+            if kind == "submit":
+                if rec is None:
+                    raw[jid] = {
+                        "spec": JobSpec.from_dict(ev["spec"]),
+                        "submitted_t": float(ev.get("t", 0.0)),
+                        "deadline_s": ev.get("deadline_s"),
+                        "worker": None, "expires": None,
+                        "n_leases": 0, "n_expired": 0,
+                        "terminal": None, "error_type": None,
+                        "message": None, "elapsed": None,
+                    }
+                elif rec["terminal"] == "fail":
+                    # Resubmission re-opens a failed job.
+                    rec.update(terminal=None, error_type=None, message=None,
+                               worker=None, expires=None)
+            elif rec is None:
+                continue  # lease/done/fail for an unknown id: ignore
+            elif kind == "lease":
+                if rec["n_leases"] > 0 and rec["terminal"] is None:
+                    rec["n_expired"] += 1  # a re-lease implies expiry
+                rec["n_leases"] += 1
+                rec["worker"] = ev.get("worker")
+                rec["expires"] = float(ev.get("expires", 0.0))
+            elif kind in _TERMINAL and rec["terminal"] is None:
+                rec["terminal"] = kind
+                rec["elapsed"] = ev.get("elapsed")
+                if kind == "fail":
+                    rec["error_type"] = ev.get("error_type")
+                    rec["message"] = ev.get("message")
+        views: dict[str, JobView] = {}
+        for jid, rec in raw.items():
+            if rec["terminal"] == "done":
+                state = "done"
+            elif rec["terminal"] == "fail":
+                state = "failed"
+            elif rec["n_leases"] > 0 and rec["expires"] is not None \
+                    and rec["expires"] > now:
+                state = "running"
+            else:
+                state = "pending"
+            views[jid] = JobView(
+                id=jid, spec=rec["spec"], state=state,
+                submitted_t=rec["submitted_t"], deadline_s=rec["deadline_s"],
+                worker=rec["worker"], lease_expires=rec["expires"],
+                n_leases=rec["n_leases"], n_expired=rec["n_expired"],
+                error_type=rec["error_type"], message=rec["message"],
+                elapsed=rec["elapsed"],
+            )
+        return views
+
+    def depth(self, now: float | None = None) -> int:
+        """Jobs currently occupying the queue (pending + running)."""
+        return sum(1 for v in self.jobs(now).values()
+                   if v.state in ("pending", "running"))
+
+    # -- queue operations ----------------------------------------------------
+
+    def submit(self, spec: JobSpec, deadline_s: float | None = None) -> str:
+        """Accept (or dedup) a job; returns its id.
+
+        Raises :class:`~repro.errors.ServiceOverloadError` when the queue
+        is at ``max_depth`` — typed load shedding, never silent queueing
+        past the bound.
+        """
+        jid = job_id(spec)
+        with self._lock:
+            views = self.jobs()
+            existing = views.get(jid)
+            if existing is not None and existing.state != "failed":
+                _metrics().counter("service.jobs.deduped").inc()
+                return jid
+            depth = sum(1 for v in views.values()
+                        if v.state in ("pending", "running"))
+            if depth >= self.config.max_depth:
+                _metrics().counter("service.jobs.shed").inc()
+                raise ServiceOverloadError(
+                    f"queue depth {depth} is at its bound "
+                    f"{self.config.max_depth}; job rejected "
+                    f"({spec.summary()}) — retry later",
+                    depth=depth, max_depth=self.config.max_depth)
+            self._append({"ev": "submit", "id": jid, "spec": spec.as_dict(),
+                          "t": time.time(), "deadline_s": deadline_s})
+            _metrics().counter("service.jobs.submitted").inc()
+            _metrics().gauge("service.queue.depth").set(depth + 1)
+        return jid
+
+    def claim(self, worker: str, now: float | None = None) -> JobView | None:
+        """Lease the oldest claimable job to ``worker`` (None: queue idle).
+
+        Claimable means pending — never submitted to a worker, or every
+        previous lease expired (the holder crashed or hung). Expired-lease
+        re-dispatch is counted in ``service.lease.expired``.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            views = self.jobs(now)
+            pending = sorted(
+                (v for v in views.values() if v.state == "pending"),
+                key=lambda v: v.submitted_t)
+            if not pending:
+                return None
+            job = pending[0]
+            if job.n_leases > 0:
+                _metrics().counter("service.lease.expired").inc()
+            expires = now + self.config.lease_ttl
+            self._append({"ev": "lease", "id": job.id, "worker": worker,
+                          "expires": expires})
+            _metrics().counter("service.jobs.claimed").inc()
+            return JobView(
+                id=job.id, spec=job.spec, state="running",
+                submitted_t=job.submitted_t, deadline_s=job.deadline_s,
+                worker=worker, lease_expires=expires,
+                n_leases=job.n_leases + 1, n_expired=job.n_expired,
+            )
+
+    def complete(self, jid: str, worker: str, result: Any,
+                 elapsed: float) -> None:
+        """Persist ``result`` and mark the job done (idempotent)."""
+        self.results.put(jid, result)
+        with self._lock:
+            self._append({"ev": "done", "id": jid, "worker": worker,
+                          "elapsed": elapsed})
+        _metrics().counter("service.jobs.completed").inc()
+
+    def fail(self, jid: str, worker: str, error_type: str, message: str,
+             elapsed: float) -> None:
+        """Record a permanent, typed job failure."""
+        with self._lock:
+            self._append({"ev": "fail", "id": jid, "worker": worker,
+                          "error_type": error_type,
+                          "message": message[:500], "elapsed": elapsed})
+        _metrics().counter("service.jobs.failed").inc()
+
+    def result(self, jid: str, default: Any = None) -> Any:
+        """The stored result of a done job (``default`` when absent)."""
+        return self.results.get(jid, default)
+
+    def checkpoint_path(self, jid: str) -> Path:
+        """Per-job checkpoint journal location (workers pass ``lock=True``)."""
+        return self.root / "checkpoints" / f"{jid}.jsonl"
+
+    # -- drain ---------------------------------------------------------------
+
+    @property
+    def _drain_path(self) -> Path:
+        return self.root / "DRAIN"
+
+    def request_drain(self) -> None:
+        """Ask every worker to finish its current job and exit."""
+        self._drain_path.touch()
+
+    def clear_drain(self) -> None:
+        try:
+            self._drain_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def drain_requested(self) -> bool:
+        return self._drain_path.exists()
+
+    # -- heartbeats ----------------------------------------------------------
+
+    def heartbeat(self, worker: str, job: str | None = None) -> None:
+        """Atomically record that ``worker`` is alive right now."""
+        hb_dir = self.root / "hb"
+        hb_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"pid": os.getpid(), "t": time.time(), "job": job})
+        tmp = hb_dir / f".{worker}.tmp"
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, hb_dir / f"{worker}.json")
+
+    def heartbeats(self) -> dict[str, dict[str, Any]]:
+        """worker name -> last heartbeat payload ({pid, t, job})."""
+        hb_dir = self.root / "hb"
+        if not hb_dir.is_dir():
+            return {}
+        out: dict[str, dict[str, Any]] = {}
+        for path in sorted(hb_dir.glob("*.json")):
+            try:
+                out[path.stem] = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # replaced mid-read; next poll sees it
+        return out
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def stale_leases(self, now: float | None = None) -> list[JobView]:
+        """Jobs whose latest lease expired without a terminal event.
+
+        These are exactly the jobs a crashed/hung worker abandoned; they
+        re-dispatch on the next claim. ``repro doctor`` reports them.
+        """
+        now = time.time() if now is None else now
+        return [v for v in self.jobs(now).values()
+                if v.state == "pending" and v.n_leases > 0]
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"JobSpool({str(self.root)!r})"

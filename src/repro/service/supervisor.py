@@ -1,0 +1,289 @@
+"""Worker supervision: spawn N shards, watch them, restart what dies.
+
+:class:`WorkerSupervisor` owns the service's process tree. Its contract is
+the tentpole of the service layer — *degrade instead of dying*:
+
+* A worker that **exits** (clean or crash, ``os._exit`` or unhandled
+  exception) is detected by ``Process.is_alive()`` and respawned after a
+  capped, seeded exponential backoff — deterministic per (seed, slot,
+  restart number), so supervision drills replay exactly.
+* A worker that is **alive but wedged** — heartbeat file older than
+  ``heartbeat_timeout`` — is SIGKILLed and respawned. Its leased job's
+  checkpoint journal survives (flock is kernel-released on death), so the
+  replacement resumes the job instead of restarting it.
+* Chaos injectors are given to the **initial** generation only. A drill
+  that SIGKILLs worker 0 at task 40 converges: the restarted worker runs
+  clean, resumes the journal at task 40, and the sweep completes
+  bit-identically.
+* A slot that exhausts ``max_restarts`` is **abandoned** (recorded, never
+  respawned); the service keeps running on the surviving shards. Only when
+  *every* slot is dead with work still queued does :meth:`run` raise
+  :class:`~repro.errors.ServiceError` — the one condition that genuinely
+  cannot degrade further.
+* **Drain** (SIGTERM/SIGINT, ``--max-runtime``, or idle with
+  ``--drain-on-idle``) flips the spool's drain flag: workers finish their
+  current job and exit; pending jobs stay spooled for the next ``serve``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.obs.metrics import default_registry as _metrics
+from repro.parallel.resilient import FaultInjector
+from repro.robust.chaos import sigkill_process
+from repro.service.spool import JobSpool, SpoolConfig
+from repro.service.worker import WorkerConfig, worker_main
+from repro.util.rng import stream_seed
+
+__all__ = ["ServiceConfig", "WorkerSupervisor"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``repro serve`` configures about one service instance."""
+
+    root: str
+    workers: int = 2
+    max_depth: int = 64
+    lease_ttl: float = 30.0
+    heartbeat_timeout: float = 10.0
+    poll_interval: float = 0.05
+    seed: int = 0
+    max_restarts: int = 5            # per worker slot, then it is abandoned
+    restart_backoff_base: float = 0.1
+    restart_backoff_max: float = 5.0
+    drain_on_idle: bool = False
+    #: With ``drain_on_idle``, the queue must stay empty this long before
+    #: the drain fires. Protects the quickstart pattern — ``serve ... &``
+    #: followed by ``submit`` — from the server exiting before the first
+    #: job lands.
+    idle_grace: float = 0.0
+    max_runtime: float | None = None
+    #: Chaos harness handed to the *initial* worker generation only.
+    injector: FaultInjector | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.heartbeat_timeout <= 0 or self.poll_interval <= 0:
+            raise ValueError("heartbeat_timeout and poll_interval must be > 0")
+        if self.idle_grace < 0:
+            raise ValueError(f"idle_grace must be >= 0, got {self.idle_grace}")
+
+
+@dataclass
+class _Slot:
+    """One worker slot: the live process plus its restart bookkeeping."""
+
+    index: int
+    process: multiprocessing.Process | None = None
+    spawned_t: float = 0.0
+    restarts: int = 0
+    not_before: float = 0.0          # backoff gate for the next respawn
+    abandoned: bool = False          # restart budget exhausted
+    retired: bool = False            # exited cleanly under drain; stay down
+    generation: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"w{self.index}"
+
+
+class WorkerSupervisor:
+    """Spawns, watches, restarts, and drains the service's worker shards."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.spool = JobSpool.ensure(
+            config.root,
+            SpoolConfig(max_depth=config.max_depth, lease_ttl=config.lease_ttl))
+        self.slots = [_Slot(index=i) for i in range(config.workers)]
+        #: Operational log: "spawn:w0:g1", "exit:w0:code=-9", "hung:w0",
+        #: "restart:w0:2", "abandon:w0", "drain-requested:<why>".
+        self.events: list[str] = []
+        self._drain_flag = threading.Event()
+
+    # -- process lifecycle ---------------------------------------------------
+
+    def _worker_config(self, slot: _Slot) -> WorkerConfig:
+        # Chaos applies to generation 1 only: restarted workers run clean,
+        # so every kill/hang drill converges to a completed queue.
+        injector = self.config.injector if slot.generation == 1 else None
+        return WorkerConfig(
+            root=str(self.spool.root),
+            name=slot.name,
+            seed=stream_seed(self.config.seed, "svc-worker", slot.index),
+            poll_interval=self.config.poll_interval,
+            injector=injector,
+        )
+
+    def _spawn(self, slot: _Slot) -> None:
+        slot.generation += 1
+        cfg = self._worker_config(slot)
+        p = multiprocessing.Process(
+            target=worker_main, args=(cfg,),
+            name=f"repro-{slot.name}", daemon=True)
+        p.start()
+        slot.process = p
+        slot.spawned_t = time.time()
+        self.events.append(f"spawn:{slot.name}:g{slot.generation}")
+        _metrics().counter("service.worker.spawns").inc()
+
+    def _restart_delay(self, slot: _Slot) -> float:
+        """Capped exponential backoff with seeded jitter (deterministic)."""
+        base = min(
+            self.config.restart_backoff_base * 2.0 ** (slot.restarts - 1),
+            self.config.restart_backoff_max)
+        u = np.random.default_rng(stream_seed(
+            self.config.seed, "svc-restart", slot.index, slot.restarts)).random()
+        return base * (0.5 + u)  # [0.5x, 1.5x)
+
+    def _handle_dead(self, slot: _Slot, why: str) -> None:
+        self.events.append(f"exit:{slot.name}:{why}")
+        _metrics().counter("service.worker.deaths").inc()
+        slot.process = None
+        if self.spool.drain_requested():
+            # Draining: a dead worker is a finished worker. Retire the slot
+            # so the respawn path never resurrects it — otherwise poll()
+            # would spin spawn/exit cycles until every slot happened to be
+            # reaped in the same pass.
+            slot.retired = True
+            self.events.append(f"retired:{slot.name}")
+            return
+        slot.restarts += 1
+        if slot.restarts > self.config.max_restarts:
+            slot.abandoned = True
+            self.events.append(f"abandon:{slot.name}")
+            _metrics().counter("service.worker.abandoned").inc()
+            return
+        slot.not_before = time.time() + self._restart_delay(slot)
+        self.events.append(f"restart:{slot.name}:{slot.restarts}")
+        _metrics().counter("service.worker.restarts").inc()
+
+    def start(self) -> None:
+        self.spool.clear_drain()
+        for slot in self.slots:
+            self._spawn(slot)
+
+    def poll(self) -> None:
+        """One supervision pass: reap exits, kill hung workers, respawn."""
+        now = time.time()
+        heartbeats = self.spool.heartbeats()
+        for slot in self.slots:
+            if slot.abandoned or slot.retired:
+                continue
+            p = slot.process
+            if p is None:
+                if now >= slot.not_before:
+                    self._spawn(slot)
+                continue
+            if not p.is_alive():
+                code = p.exitcode
+                p.join()
+                self._handle_dead(slot, f"code={code}")
+                continue
+            hb = heartbeats.get(slot.name)
+            # Stale heartbeats from a previous generation don't count: the
+            # liveness baseline is the later of spawn time and last beat.
+            last_seen = slot.spawned_t
+            if hb is not None and hb.get("pid") == p.pid:
+                last_seen = max(last_seen, float(hb.get("t", 0.0)))
+            if now - last_seen > self.config.heartbeat_timeout:
+                self.events.append(f"hung:{slot.name}")
+                _metrics().counter("service.worker.hung_kills").inc()
+                sigkill_process(p.pid)
+                p.join()
+                self._handle_dead(slot, "hung")
+
+    # -- drain and shutdown --------------------------------------------------
+
+    def request_drain(self, why: str = "requested") -> None:
+        """Flip the drain flag: workers finish current jobs and exit."""
+        if not self._drain_flag.is_set():
+            self._drain_flag.set()
+            self.spool.request_drain()
+            self.events.append(f"drain-requested:{why}")
+            _metrics().counter("service.drains").inc()
+
+    def _install_signal_handlers(self) -> dict[int, object]:
+        """Route SIGTERM/SIGINT to a drain; returns the displaced handlers."""
+        if threading.current_thread() is not threading.main_thread():
+            return {}  # signal handlers only work on the main thread
+
+        def _on_signal(signum: int, frame: object) -> None:
+            self.request_drain(why=signal.Signals(signum).name)
+
+        return {sig: signal.signal(sig, _on_signal)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+
+    def alive(self) -> int:
+        return sum(1 for s in self.slots
+                   if s.process is not None and s.process.is_alive())
+
+    def stop(self, grace: float = 5.0) -> None:
+        """Drain, wait up to ``grace`` for clean exits, then SIGKILL."""
+        self.request_drain(why="stop")
+        deadline = time.monotonic() + grace
+        for slot in self.slots:
+            p = slot.process
+            if p is None:
+                continue
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+            if p.is_alive():
+                sigkill_process(p.pid)
+                p.join()
+            slot.process = None
+
+    # -- the serve loop ------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until drained; returns 0, or raises :class:`ServiceError`.
+
+        The loop ends when a drain has been requested (signal, runtime
+        budget, idle queue) and every worker has exited. If instead every
+        slot is abandoned while jobs are still queued, the service cannot
+        make progress and raises — the one failure mode with no cheaper rung
+        left.
+        """
+        displaced = self._install_signal_handlers()
+        self.start()
+        started = time.monotonic()
+        idle_since: float | None = None
+        try:
+            while True:
+                self.poll()
+                now = time.monotonic()
+                if self.config.max_runtime is not None and \
+                        now - started > self.config.max_runtime:
+                    self.request_drain(why="max-runtime")
+                if self.config.drain_on_idle and not self._drain_flag.is_set():
+                    if self.spool.depth() == 0:
+                        idle_since = now if idle_since is None else idle_since
+                        if now - idle_since >= self.config.idle_grace:
+                            self.request_drain(why="idle")
+                    else:
+                        idle_since = None
+                if self._drain_flag.is_set() and self.alive() == 0:
+                    break
+                if all(s.abandoned for s in self.slots):
+                    pending = self.spool.depth()
+                    raise ServiceError(
+                        f"all {len(self.slots)} worker slot(s) exhausted "
+                        f"their restart budget with {pending} job(s) still "
+                        "queued; service cannot make progress")
+                time.sleep(self.config.poll_interval)
+        finally:
+            self.stop()
+            # Hand the displaced handlers back so an embedding process
+            # (tests, a larger application) regains its own signal behaviour.
+            for sig, handler in displaced.items():
+                signal.signal(sig, handler)
+        return 0

@@ -1,0 +1,335 @@
+"""Worker shard: claim jobs from the spool, execute them, survive anything.
+
+One worker is one process running :func:`worker_main` in a loop — heartbeat,
+check drain, claim, execute, report. Everything interesting is in how it
+fails:
+
+* **Crash mid-job** (exception, ``os._exit``, SIGKILL): the lease expires,
+  the spool re-dispatches, and the *next* worker resumes from the job's
+  checkpoint journal — :func:`execute_sweep` runs every per-config task
+  through a :class:`~repro.parallel.ResilientExecutor` with a flock-guarded
+  :class:`~repro.parallel.CheckpointJournal`, so re-execution recomputes
+  only the tail and the final result is bit-identical to an uninterrupted
+  run.
+* **Result computed but completion lost** (killed between the result write
+  and the ``done`` event): the result store is keyed by the job's content
+  fingerprint, so the re-dispatched execution finds it and completes
+  without recomputing.
+* **Deadline exceeded**: jobs submitted with a deadline carry it into every
+  per-config task; once the wall clock passes ``submitted_t + deadline_s``
+  the job fails with the typed
+  :class:`~repro.errors.JobDeadlineExceeded` instead of running forever.
+* **Sick dependencies**: two circuit breakers, held across jobs, guard the
+  worker's expensive collaborators. ``model-fit`` wraps the degradation
+  ladder's NN rungs — after repeated training failures the worker stops
+  paying the NN training cost per job and lands on the linear rungs until
+  the breaker half-opens. ``disk-cache`` guards the spool-shared disk cache
+  tier, degrading it to memory-only while the disk misbehaves.
+
+The worker's inner executor is serial: the *supervisor* provides process
+parallelism (N worker shards), so nesting a pool inside each shard would
+only multiply processes without adding throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import JobDeadlineExceeded, ReproError, SweepAborted
+from repro.obs.metrics import default_registry as _metrics
+from repro.parallel.executor import SerialExecutor
+from repro.parallel.resilient import (
+    CheckpointJournal,
+    FaultInjector,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from repro.robust.breaker import CircuitBreaker
+from repro.service.jobs import JobSpec, JobView
+from repro.service.spool import JobSpool
+from repro.util.rng import stream_seed
+
+__all__ = ["WorkerConfig", "Worker", "worker_main", "drain_queue"]
+
+_ABSENT = object()
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker shard needs; picklable (crosses the fork/spawn)."""
+
+    root: str                    # spool directory
+    name: str                    # shard name; also the heartbeat file stem
+    seed: int = 0
+    poll_interval: float = 0.05  # idle sleep between claim attempts
+    heartbeat_every: int = 32    # configs between mid-sweep heartbeats
+    max_jobs: int | None = None  # stop after N jobs (tests); None: until drain
+    task_retries: int = 1        # transient-exception retries per config task
+    #: Chaos harness applied to sweep task execution (supervision drills).
+    injector: FaultInjector | None = None
+    #: Trips the NN ladder rungs after this many consecutive fit failures.
+    fit_breaker_threshold: int = 3
+    fit_breaker_reset: float = 5.0
+    #: Trips the shared disk cache tier after this many consecutive I/O errors.
+    disk_breaker_threshold: int = 3
+    disk_breaker_reset: float = 5.0
+
+
+class _GuardedLadder:
+    """Delegate that threads the worker's fit breaker into every ladder walk."""
+
+    def __init__(self, ladder: Any, breaker: CircuitBreaker) -> None:
+        self._ladder = ladder
+        self.breaker = breaker
+
+    def fit_model(self, *args: Any, **kwargs: Any) -> Any:
+        return self._ladder.fit_model(*args, breaker=self.breaker, **kwargs)
+
+
+class _SweepTask:
+    """Per-config task: deadline gate, periodic heartbeat, then evaluate.
+
+    Runs in the worker process itself (serial inner executor), so it may
+    hold live references to the spool. Checkpoint fingerprints hash the
+    task *payload* ``(config, profile, n_instructions)`` — identical to the
+    simulator's own scalar path — plus this class's qualname, so resumed
+    journals match across worker generations.
+    """
+
+    def __init__(self, spool: JobSpool, worker: str, job_id: str,
+                 deadline_t: float | None, heartbeat_every: int) -> None:
+        self.spool = spool
+        self.worker = worker
+        self.job_id = job_id
+        self.deadline_t = deadline_t
+        self.heartbeat_every = max(1, heartbeat_every)
+        self._n = 0
+
+    def __call__(self, args: tuple[Any, Any, int]) -> float:
+        if self.deadline_t is not None and time.time() > self.deadline_t:
+            raise JobDeadlineExceeded(
+                f"job {self.job_id[:12]} passed its deadline mid-sweep",
+                job_id=self.job_id)
+        self._n += 1
+        if self._n % self.heartbeat_every == 0:
+            self.spool.heartbeat(self.worker, job=self.job_id)
+        from repro.simulator.interval import _eval_cycles
+
+        return _eval_cycles(args)
+
+
+class Worker:
+    """One shard's claim/execute loop plus its per-shard breakers."""
+
+    def __init__(self, config: WorkerConfig, spool: JobSpool | None = None) -> None:
+        self.config = config
+        self.spool = spool if spool is not None else JobSpool.open(config.root)
+        self.fit_breaker = CircuitBreaker(
+            f"model-fit:{config.name}",
+            failure_threshold=config.fit_breaker_threshold,
+            reset_timeout=config.fit_breaker_reset)
+        self.disk_breaker = CircuitBreaker(
+            f"disk-cache:{config.name}",
+            failure_threshold=config.disk_breaker_threshold,
+            reset_timeout=config.disk_breaker_reset)
+        #: Operational log: "claim:<id>", "done:<id>", "fail:<id>:<type>",
+        #: "cached-result:<id>" — assertable without reaching into the spool.
+        self.events: list[str] = []
+        self._configure_cache()
+
+    def _configure_cache(self) -> None:
+        """Point the process-wide cache at the spool-shared disk tier.
+
+        Namespaced per spool schema so service entries never collide with a
+        user's own ``REPRO_CACHE_DIR``; breaker-guarded so a sick disk
+        degrades the tier to memory-only instead of stalling every job.
+        """
+        from repro.cache.result_cache import configure
+        from repro.service.spool import SPOOL_SCHEMA
+
+        configure(max_entries=128,
+                  disk_root=Path(self.config.root) / "cache",
+                  namespace=SPOOL_SCHEMA,
+                  disk_breaker=self.disk_breaker)
+
+    # -- job execution -------------------------------------------------------
+
+    def execute(self, job: JobView) -> Any:
+        """Run one leased job to a result (raises typed errors on failure)."""
+        deadline_t = None
+        if job.deadline_s is not None:
+            deadline_t = job.submitted_t + job.deadline_s
+            if time.time() > deadline_t:
+                raise JobDeadlineExceeded(
+                    f"job {job.id[:12]} expired before execution "
+                    f"(deadline {job.deadline_s:g}s after submission)",
+                    job_id=job.id, deadline_s=job.deadline_s or 0.0)
+        if job.spec.kind == "sweep":
+            return self.execute_sweep(job, deadline_t)
+        return self.execute_fit(job, deadline_t)
+
+    def execute_sweep(self, job: JobView, deadline_t: float | None) -> Any:
+        """Simulate the job's design-space slice, checkpointed per config."""
+        from repro.simulator import enumerate_design_space, get_profile
+
+        spec = job.spec
+        configs = list(enumerate_design_space())[spec.start:spec.stop]
+        profile = get_profile(spec.app)
+        items = [(c, profile, spec.n_instructions) for c in configs]
+        task = _SweepTask(self.spool, self.config.name, job.id,
+                          deadline_t, self.config.heartbeat_every)
+        journal = CheckpointJournal(self.spool.checkpoint_path(job.id),
+                                    resume=True, lock=True)
+        ex = ResilientExecutor(
+            SerialExecutor(),
+            retry=RetryPolicy(max_attempts=self.config.task_retries + 1),
+            journal=journal,
+            injector=self.config.injector,
+            seed=stream_seed(self.config.seed, "svc-job", job.id),
+        )
+        try:
+            cycles = ex.map(task, items)
+        except SweepAborted as exc:
+            # Progress is journaled; surface the most meaningful cause.
+            for failure in exc.failures:
+                if failure.error_type == "JobDeadlineExceeded":
+                    raise JobDeadlineExceeded(
+                        f"job {job.id[:12]} passed its deadline with "
+                        f"{len(exc.failures)} task(s) unfinished",
+                        job_id=job.id, deadline_s=job.deadline_s or 0.0) from exc
+            raise
+        finally:
+            ex.close()
+        return {"kind": "sweep", "app": spec.app,
+                "start": spec.start, "stop": spec.stop,
+                "cycles": np.asarray(cycles, dtype=np.float64)}
+
+    def execute_fit(self, job: JobView, deadline_t: float | None) -> Any:
+        """Run one sampled-DSE fit, breaker-guarding the NN ladder rungs."""
+        from repro.core import model_builders, run_sampled_dse
+        from repro.robust import ValidationGate, default_ladder
+        from repro.simulator import (
+            design_space_dataset,
+            enumerate_design_space,
+            get_profile,
+            sweep_design_space,
+        )
+
+        spec = job.spec
+        configs = list(enumerate_design_space())
+        space = design_space_dataset(
+            configs, sweep_design_space(configs, get_profile(spec.app),
+                                        n_instructions=spec.n_instructions,
+                                        cache=True))
+        if deadline_t is not None and time.time() > deadline_t:
+            raise JobDeadlineExceeded(
+                f"job {job.id[:12]} passed its deadline after the sweep",
+                job_id=job.id, deadline_s=job.deadline_s)
+        self.spool.heartbeat(self.config.name, job=job.id)
+        builders = model_builders((spec.model,), seed=spec.seed)
+        ladder = None
+        if spec.robust:
+            ladder = _GuardedLadder(
+                default_ladder(seed=spec.seed, gate=ValidationGate()),
+                self.fit_breaker)
+        rng = np.random.default_rng(spec.seed)
+        result = run_sampled_dse(space, builders, spec.rate, rng, ladder=ladder)
+        outcome = result.outcomes[spec.model]
+        return {
+            "kind": "fit", "app": spec.app, "model": spec.model,
+            "rate": result.rate, "n_sampled": result.n_sampled,
+            "estimated_error_max": outcome.estimated_error_max,
+            "true_error": outcome.true_error,
+            "deployed": outcome.deployed or spec.model,
+            "degraded": outcome.degraded,
+        }
+
+    # -- the loop ------------------------------------------------------------
+
+    def run_once(self) -> bool:
+        """Claim and finish at most one job; False when the queue was idle."""
+        self.spool.heartbeat(self.config.name)
+        job = self.spool.claim(self.config.name)
+        if job is None:
+            return False
+        self.events.append(f"claim:{job.id[:12]}")
+        self.spool.heartbeat(self.config.name, job=job.id)
+        started = time.monotonic()
+        cached = self.spool.result(job.id, _ABSENT)
+        if cached is not _ABSENT:
+            # A previous holder computed the result but died before the
+            # ``done`` event landed; completion is all that is left to do.
+            self.events.append(f"cached-result:{job.id[:12]}")
+            _metrics().counter("service.jobs.result_reused").inc()
+            self.spool.complete(job.id, self.config.name, cached, elapsed=0.0)
+            return True
+        try:
+            result = self.execute(job)
+        except ReproError as exc:
+            elapsed = time.monotonic() - started
+            self.events.append(f"fail:{job.id[:12]}:{type(exc).__name__}")
+            self.spool.fail(job.id, self.config.name,
+                            type(exc).__name__, str(exc), elapsed)
+            return True
+        elapsed = time.monotonic() - started
+        self.events.append(f"done:{job.id[:12]}")
+        self.spool.complete(job.id, self.config.name, result, elapsed)
+        return True
+
+    def run(self) -> int:
+        """Claim/execute until drain (or ``max_jobs``); returns jobs handled.
+
+        Checks the drain flag *before* claiming, so a drain request never
+        strands a freshly leased job — the current job always finishes, the
+        next one stays pending for the post-restart service.
+        """
+        n_done = 0
+        while True:
+            if self.spool.drain_requested():
+                break
+            if self.config.max_jobs is not None and n_done >= self.config.max_jobs:
+                break
+            if self.run_once():
+                n_done += 1
+            else:
+                time.sleep(self.config.poll_interval)
+        self._export_metrics()
+        return n_done
+
+    def _export_metrics(self) -> None:
+        """Persist this shard's metrics so the service can aggregate them."""
+        import json
+
+        out_dir = self.spool.root / "metrics"
+        try:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            tmp = out_dir / f".{self.config.name}.tmp"
+            tmp.write_text(json.dumps(_metrics().snapshot(), indent=2,
+                                      sort_keys=True, default=str) + "\n")
+            import os
+
+            os.replace(tmp, out_dir / f"{self.config.name}.json")
+        except OSError:
+            _metrics().counter("service.metrics.export_failures").inc()
+
+
+def worker_main(config: WorkerConfig) -> int:
+    """Process entry point for one worker shard (supervisor spawn target)."""
+    return Worker(config).run()
+
+
+def drain_queue(spool: JobSpool, worker: str = "inline",
+                config: WorkerConfig | None = None) -> int:
+    """Run an in-process worker until the queue is empty (tests, tooling)."""
+    cfg = config if config is not None else WorkerConfig(
+        root=str(spool.root), name=worker)
+    w = Worker(cfg, spool=spool)
+    n = 0
+    while w.run_once():
+        n += 1
+    return n

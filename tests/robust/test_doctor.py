@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.cli import main
 from repro.robust import run_doctor
 from repro.robust.doctor import DoctorCheck, DoctorReport
@@ -60,6 +58,61 @@ class TestRunDoctor:
         assert not report.ok
         assert report.checks[0].name == "numpy"
         assert "probe exploded" in report.checks[0].detail
+
+
+class TestServiceProbes:
+    def test_new_probes_present_and_healthy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPOOL_DIR", raising=False)
+        report = run_doctor()
+        names = [c.name for c in report.checks]
+        assert {"spool-dir", "fd-headroom", "mp-start-method",
+                "stale-leases"} <= set(names)
+        assert report.ok
+
+    def test_spool_dir_unset_is_fine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPOOL_DIR", raising=False)
+        check = next(c for c in run_doctor().checks if c.name == "spool-dir")
+        assert check.passed
+        assert "unset" in check.detail
+
+    def test_spool_dir_probed_when_set(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(tmp_path / "spool"))
+        check = next(c for c in run_doctor().checks if c.name == "spool-dir")
+        assert "flock" in check.detail
+        from repro.util.locking import FileLock
+
+        assert check.passed == FileLock.enforced
+
+    def test_unwritable_spool_dir_fails(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("not a directory")
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(blocker / "spool"))
+        check = next(c for c in run_doctor().checks if c.name == "spool-dir")
+        assert not check.passed
+        assert "not writable" in check.detail
+
+    def test_stale_leases_reported(self, tmp_path, monkeypatch):
+        from repro.service import JobSpec, JobSpool, SpoolConfig
+
+        root = tmp_path / "spool"
+        spool = JobSpool.ensure(root, SpoolConfig(lease_ttl=0.001))
+        spool.submit(JobSpec(kind="sweep", app="gcc", stop=4))
+        spool.claim("dead-worker", now=0.0)  # long expired
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = next(c for c in run_doctor().checks if c.name == "stale-leases")
+        assert check.passed  # informational: re-dispatch handles it
+        assert "1 job(s) abandoned" in check.detail
+
+    def test_corrupt_spool_fails_the_probe(self, tmp_path, monkeypatch):
+        from repro.service import JobSpool
+
+        root = tmp_path / "spool"
+        spool = JobSpool.ensure(root)
+        spool.log_path.write_text("garbage\n{}\n")
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = next(c for c in run_doctor().checks if c.name == "stale-leases")
+        assert not check.passed
+        assert "spool unreadable" in check.detail
 
 
 class TestDoctorCli:

@@ -1,0 +1,137 @@
+"""Crash-recovery invariants: nothing computed twice, nothing lost."""
+
+import json
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import FaultInjector
+from repro.service import (
+    JobFailed,
+    JobSpec,
+    JobSpool,
+    SpoolConfig,
+    WorkerConfig,
+    drain_queue,
+    list_jobs,
+    submit_job,
+    wait_for,
+    worker_main,
+)
+from repro.simulator import enumerate_design_space, get_profile, sweep_design_space
+
+N_INSTR = 1_000_000
+STOP = 12
+
+
+def sweep_spec(app="gcc", stop=STOP):
+    return JobSpec(kind="sweep", app=app, start=0, stop=stop,
+                   n_instructions=N_INSTR)
+
+
+def oracle(app="gcc", stop=STOP):
+    configs = list(enumerate_design_space())[:stop]
+    return sweep_design_space(configs, get_profile(app), n_instructions=N_INSTR)
+
+
+@pytest.mark.slow
+class TestSigkillRecovery:
+    def test_journal_resume_after_sigkill_is_bit_identical(self, tmp_path):
+        """Kill a worker mid-sweep; the successor resumes, not recomputes."""
+        root = tmp_path / "s"
+        spool = JobSpool.ensure(root, SpoolConfig(lease_ttl=0.5))
+        jid = spool.submit(sweep_spec())
+        cfg = WorkerConfig(root=str(root), name="doomed", heartbeat_every=1,
+                           injector=FaultInjector(sigkill_indices=(5,)))
+        p = multiprocessing.Process(target=worker_main, args=(cfg,))
+        p.start()
+        p.join(timeout=60)
+        assert p.exitcode == -9  # the kernel tore it down mid-task
+
+        journal_path = spool.checkpoint_path(jid)
+        assert journal_path.exists()
+        survivors = [json.loads(line) for line in
+                     journal_path.read_text().splitlines()]
+        assert 1 <= len(survivors) < STOP  # partial progress persisted
+
+        while spool.jobs()[jid].state == "running":
+            time.sleep(0.05)  # lease of the dead holder expires
+        assert drain_queue(spool, worker="successor") == 1
+
+        view = spool.jobs()[jid]
+        assert view.state == "done"
+        assert view.n_leases == 2
+        assert view.n_expired == 1
+        assert np.array_equal(np.asarray(spool.result(jid)["cycles"]),
+                              oracle())
+        # Resume skipped completed fingerprints: one record per config, none
+        # re-executed into a duplicate journal line.
+        records = [json.loads(line) for line in
+                   journal_path.read_text().splitlines()]
+        fingerprints = [r["fp"] for r in records]
+        assert len(fingerprints) == STOP
+        assert len(set(fingerprints)) == STOP
+        assert fingerprints[:len(survivors)] == [r["fp"] for r in survivors]
+
+
+class TestResultReuse:
+    def test_orphaned_result_completes_without_reexecution(self, tmp_path):
+        """Crash between results.put and the done event: reuse, don't redo."""
+        root = tmp_path / "s"
+        spool = JobSpool.ensure(root)
+        jid = spool.submit(sweep_spec())
+        marker = {"kind": "sweep", "cycles": [1.0, 2.0, 3.0]}
+        spool.results.put(jid, marker)  # the dead holder got exactly this far
+        assert spool.jobs()[jid].state == "pending"
+        assert drain_queue(spool, worker="successor") == 1
+        view = spool.jobs()[jid]
+        assert view.state == "done"
+        assert view.elapsed == 0.0  # completed, not recomputed
+        assert spool.result(jid) == marker
+
+
+class TestDeadlines:
+    def test_expired_deadline_fails_typed(self, tmp_path):
+        root = str(tmp_path / "s")
+        jid = submit_job(root, sweep_spec(), deadline_s=1e-6)
+        time.sleep(0.01)
+        drain_queue(JobSpool.open(root))
+        with pytest.raises(JobFailed) as exc_info:
+            wait_for(root, jid, timeout=5.0)
+        assert exc_info.value.error_type == "JobDeadlineExceeded"
+        assert exc_info.value.exit_code == 14
+
+    def test_generous_deadline_is_harmless(self, tmp_path):
+        root = str(tmp_path / "s")
+        jid = submit_job(root, sweep_spec(), deadline_s=3600.0)
+        drain_queue(JobSpool.open(root))
+        view = wait_for(root, jid, timeout=5.0)
+        assert view.state == "done"
+        assert np.array_equal(np.asarray(JobSpool.open(root).result(jid)["cycles"]),
+                              oracle())
+
+
+class TestClient:
+    def test_wait_for_unknown_job_raises(self, tmp_path):
+        root = str(tmp_path / "s")
+        JobSpool.ensure(root)
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="unknown job"):
+            wait_for(root, "deadbeef", timeout=1.0)
+
+    def test_wait_for_times_out_instead_of_hanging(self, tmp_path):
+        root = str(tmp_path / "s")
+        jid = submit_job(root, sweep_spec())  # no worker will ever run it
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError, match="timed out"):
+            wait_for(root, jid, timeout=0.2)
+
+    def test_list_jobs_is_submit_ordered(self, tmp_path):
+        root = str(tmp_path / "s")
+        first = submit_job(root, sweep_spec("gcc"))
+        second = submit_job(root, sweep_spec("mcf"))
+        assert [v.id for v in list_jobs(root)] == [first, second]

@@ -1,0 +1,204 @@
+"""Tests for the durable job spool: fold semantics, leases, backpressure."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.service import JobSpec, JobSpool, SpoolConfig, job_id
+
+
+def spec(start=0, stop=8, app="gcc", **kw):
+    return JobSpec(kind="sweep", app=app, start=start, stop=stop,
+                   n_instructions=1_000_000, **kw)
+
+
+@pytest.fixture()
+def spool(tmp_path):
+    return JobSpool.ensure(tmp_path / "spool",
+                           SpoolConfig(max_depth=3, lease_ttl=10.0))
+
+
+class TestLifecycle:
+    def test_ensure_persists_config(self, tmp_path):
+        root = tmp_path / "spool"
+        JobSpool.ensure(root, SpoolConfig(max_depth=7, lease_ttl=3.0))
+        reopened = JobSpool.open(root)
+        assert reopened.config.max_depth == 7
+        assert reopened.config.lease_ttl == 3.0
+
+    def test_ensure_without_config_honors_existing(self, tmp_path):
+        root = tmp_path / "spool"
+        JobSpool.ensure(root, SpoolConfig(max_depth=7))
+        again = JobSpool.ensure(root)  # a client joining an existing spool
+        assert again.config.max_depth == 7
+
+    def test_open_requires_existing_spool(self, tmp_path):
+        with pytest.raises(ServiceError, match="no spool"):
+            JobSpool.open(tmp_path / "nowhere")
+
+    def test_job_id_is_content_addressed(self, spool):
+        assert job_id(spec()) == job_id(spec())
+        assert job_id(spec()) != job_id(spec(start=1))
+        jid = spool.submit(spec())
+        assert jid == job_id(spec())
+
+
+class TestSubmit:
+    def test_submit_then_pending(self, spool):
+        jid = spool.submit(spec())
+        job = spool.jobs()[jid]
+        assert job.state == "pending"
+        assert job.spec.app == "gcc"
+        assert spool.depth() == 1
+
+    def test_duplicate_submit_dedups(self, spool):
+        a = spool.submit(spec())
+        b = spool.submit(spec())
+        assert a == b
+        assert spool.depth() == 1
+
+    def test_overload_sheds_with_typed_error(self, spool):
+        for i in range(3):
+            spool.submit(spec(start=i, stop=i + 1))
+        with pytest.raises(ServiceOverloadError) as exc_info:
+            spool.submit(spec(start=9, stop=10))
+        assert exc_info.value.depth == 3
+        assert exc_info.value.max_depth == 3
+        # Dedup of an already-queued job is not an overload.
+        assert spool.submit(spec(start=0, stop=1)) == job_id(spec(start=0, stop=1))
+
+    def test_terminal_jobs_free_queue_slots(self, spool):
+        jids = [spool.submit(spec(start=i, stop=i + 1)) for i in range(3)]
+        spool.complete(jids[0], "w0", {"ok": True}, elapsed=0.1)
+        spool.submit(spec(start=9, stop=10))  # slot freed, accepted
+        assert spool.depth() == 3
+
+
+class TestLeases:
+    def test_claim_is_fifo(self, spool):
+        first = spool.submit(spec(start=0, stop=1))
+        second = spool.submit(spec(start=1, stop=2))
+        assert spool.claim("w0", now=100.0).id == first
+        assert spool.claim("w1", now=100.0).id == second
+        assert spool.claim("w2", now=100.0) is None
+
+    def test_active_lease_blocks_reclaim(self, spool):
+        spool.submit(spec())
+        job = spool.claim("w0", now=100.0)
+        assert job.state == "running"
+        assert job.lease_expires == 110.0
+        assert spool.claim("w1", now=105.0) is None
+
+    def test_expired_lease_is_redispatched(self, spool):
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        again = spool.claim("w1", now=111.0)  # past the 10s ttl
+        assert again.id == jid
+        assert again.worker == "w1"
+        assert again.n_leases == 2
+        view = spool.jobs(now=112.0)[jid]
+        assert view.n_expired == 1
+        assert view.state == "running"
+
+    def test_stale_leases_reports_expired_holders(self, spool):
+        jid = spool.submit(spec())
+        assert spool.stale_leases(now=100.0) == []  # never leased: not stale
+        spool.claim("w0", now=100.0)
+        assert spool.stale_leases(now=105.0) == []  # still held
+        stale = spool.stale_leases(now=120.0)
+        assert [v.id for v in stale] == [jid]
+
+
+class TestTerminal:
+    def test_complete_stores_result(self, spool):
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.complete(jid, "w0", {"cycles": [1, 2]}, elapsed=0.5)
+        view = spool.jobs()[jid]
+        assert view.state == "done"
+        assert view.elapsed == 0.5
+        assert spool.result(jid) == {"cycles": [1, 2]}
+        assert spool.result("unknown", default="x") == "x"
+
+    def test_first_terminal_event_wins(self, spool):
+        """A stale holder finishing after re-dispatch must not flip state."""
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.claim("w1", now=111.0)  # w0's lease expired; re-dispatched
+        spool.complete(jid, "w1", "fresh", elapsed=0.2)
+        spool.fail(jid, "w0", "RuntimeError", "stale holder woke up", 9.0)
+        view = spool.jobs()[jid]
+        assert view.state == "done"
+        assert view.error_type is None
+        assert spool.result(jid) == "fresh"
+
+    def test_fail_records_typed_error(self, spool):
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.fail(jid, "w0", "JobDeadlineExceeded", "m" * 600, elapsed=1.0)
+        view = spool.jobs()[jid]
+        assert view.state == "failed"
+        assert view.error_type == "JobDeadlineExceeded"
+        assert len(view.message) == 500  # truncated for the log
+
+    def test_resubmit_reopens_failed_job(self, spool):
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.fail(jid, "w0", "TaskFailed", "boom", elapsed=1.0)
+        assert spool.depth() == 0
+        assert spool.submit(spec()) == jid
+        assert spool.jobs()[jid].state == "pending"
+
+
+class TestDurability:
+    def test_torn_tail_is_tolerated(self, spool):
+        a = spool.submit(spec(start=0, stop=1))
+        spool.submit(spec(start=1, stop=2))
+        with open(spool.log_path, "a", encoding="utf-8") as fh:
+            fh.write('{"ev": "subm')  # crash mid-append
+        views = spool.jobs()
+        assert set(views) >= {a}
+        assert len(views) == 2
+
+    def test_mid_file_corruption_is_an_error(self, spool):
+        spool.submit(spec(start=0, stop=1))
+        with open(spool.log_path, "a", encoding="utf-8") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"ev": "submit", "id": "x",
+                                 "spec": spec(start=1, stop=2).as_dict(),
+                                 "t": 0.0, "deadline_s": None}) + "\n")
+        with pytest.raises(ServiceError, match="corrupt spool log"):
+            spool.jobs()
+
+    def test_fold_survives_reopen(self, spool, tmp_path):
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.complete(jid, "w0", 42, elapsed=0.1)
+        reopened = JobSpool.open(tmp_path / "spool")
+        assert reopened.jobs()[jid].state == "done"
+        assert reopened.result(jid) == 42
+
+
+class TestCoordination:
+    def test_drain_flag_roundtrip(self, spool):
+        assert not spool.drain_requested()
+        spool.request_drain()
+        spool.request_drain()  # idempotent
+        assert spool.drain_requested()
+        spool.clear_drain()
+        assert not spool.drain_requested()
+
+    def test_heartbeats_roundtrip(self, spool):
+        spool.heartbeat("w0", job="abc")
+        spool.heartbeat("w1")
+        beats = spool.heartbeats()
+        assert set(beats) == {"w0", "w1"}
+        assert beats["w0"]["job"] == "abc"
+        assert "pid" in beats["w0"] and "t" in beats["w0"]
+
+    def test_checkpoint_paths_are_per_job(self, spool):
+        a = spool.checkpoint_path("aaaa")
+        b = spool.checkpoint_path("bbbb")
+        assert a != b
+        assert a.parent == b.parent

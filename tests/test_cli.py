@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import time
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -107,6 +109,27 @@ class TestFaultTolerance:
         assert capsys.readouterr().out == first  # identical report
         assert path.stat().st_size == size       # nothing re-journaled
 
+    def test_service_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--spool", "s"])
+        assert args.workers == 2 and args.max_depth == 64
+        assert args.lease_ttl == 30.0 and args.heartbeat_timeout == 10.0
+        assert not args.drain_on_idle and args.max_runtime is None
+        assert args.idle_grace == 3.0  # quickstart: serve &, then submit
+        assert args.chaos_sigkill_at is None  # hidden chaos knobs parse
+
+    def test_serve_requires_spool(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            ["submit", "--spool", "s", "sweep", "gcc", "--stop", "8",
+             "--deadline", "5", "--wait"])
+        assert args.kind == "sweep" and args.app == "gcc"
+        assert args.stop == 8 and args.deadline == 5.0 and args.wait
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--spool", "s", "retrain", "gcc"])
+
     def test_chaos_abort_maps_to_exit_code_and_one_line_stderr(self, capsys):
         from repro.errors import SweepAborted
 
@@ -138,3 +161,109 @@ class TestFaultTolerance:
         assert rc == 1
         err = capsys.readouterr().err
         assert err.startswith("repro: error:") and "Traceback" not in err
+
+
+class TestServiceCommands:
+    """submit/jobs against a spool directory, no daemon required."""
+
+    def _submit(self, spool, capsys, *extra):
+        rc = main(["submit", "--spool", spool, "sweep", "gcc",
+                   "--stop", "8", "--n-instructions", "1000000", *extra])
+        out = capsys.readouterr().out
+        return rc, out.strip().splitlines()[-1] if out.strip() else ""
+
+    def test_submit_prints_job_id(self, tmp_path, capsys):
+        rc, jid = self._submit(str(tmp_path / "s"), capsys)
+        assert rc == 0
+        assert len(jid) == 32  # the content fingerprint
+
+    def test_duplicate_submit_is_idempotent(self, tmp_path, capsys):
+        spool = str(tmp_path / "s")
+        _, first = self._submit(spool, capsys)
+        _, second = self._submit(spool, capsys)
+        assert first == second
+
+    def test_overload_maps_to_typed_exit_code(self, tmp_path, capsys):
+        from repro.errors import ServiceOverloadError
+        from repro.service import JobSpool, SpoolConfig
+
+        spool = str(tmp_path / "s")
+        JobSpool.ensure(spool, SpoolConfig(max_depth=1))
+        assert self._submit(spool, capsys)[0] == 0
+        rc = main(["submit", "--spool", spool, "sweep", "mcf",
+                   "--stop", "8", "--n-instructions", "1000000"])
+        assert rc == ServiceOverloadError.exit_code == 12
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "retry later" in err and "Traceback" not in err
+
+    def test_submit_wait_blocks_until_done(self, tmp_path, capsys):
+        import threading
+
+        from repro.service import JobSpool, drain_queue
+
+        spool_dir = str(tmp_path / "s")
+        spool = JobSpool.ensure(spool_dir)
+
+        def drain_soon():
+            time.sleep(0.3)
+            drain_queue(spool)
+
+        t = threading.Thread(target=drain_soon)
+        t.start()
+        try:
+            rc = main(["submit", "--spool", spool_dir, "sweep", "gcc",
+                       "--stop", "8", "--n-instructions", "1000000",
+                       "--wait", "--timeout", "60"])
+        finally:
+            t.join()
+        assert rc == 0
+        assert "[done]" in capsys.readouterr().err
+
+    def test_failed_job_propagates_its_exit_code(self, tmp_path, capsys):
+        import threading
+
+        from repro.errors import JobDeadlineExceeded
+        from repro.service import JobSpool, drain_queue
+
+        spool_dir = str(tmp_path / "s")
+        spool = JobSpool.ensure(spool_dir)
+
+        def drain_soon():
+            time.sleep(0.3)
+            drain_queue(spool)
+
+        t = threading.Thread(target=drain_soon)
+        t.start()
+        try:
+            rc = main(["submit", "--spool", spool_dir, "sweep", "gcc",
+                       "--stop", "8", "--n-instructions", "1000000",
+                       "--deadline", "0.000001", "--wait", "--timeout", "60"])
+        finally:
+            t.join()
+        assert rc == JobDeadlineExceeded.exit_code == 14
+        err = capsys.readouterr().err
+        assert "JobDeadlineExceeded" in err and "Traceback" not in err
+
+    def test_jobs_listing_table_and_json(self, tmp_path, capsys):
+        import json
+
+        spool = str(tmp_path / "s")
+        _, jid = self._submit(spool, capsys)
+        assert main(["jobs", "--spool", spool]) == 0
+        table = capsys.readouterr().out
+        assert jid[:12] in table and "pending" in table
+        assert main(["jobs", "--spool", spool, "--json"]) == 0
+        records = [json.loads(line) for line in
+                   capsys.readouterr().out.splitlines()]
+        assert [r["id"] for r in records] == [jid]
+        assert records[0]["state"] == "pending"
+        assert records[0]["spec"]["app"] == "gcc"
+
+    def test_jobs_empty_spool(self, tmp_path, capsys):
+        from repro.service import JobSpool
+
+        spool = str(tmp_path / "s")
+        JobSpool.ensure(spool)
+        assert main(["jobs", "--spool", spool]) == 0
+        assert "(no jobs)" in capsys.readouterr().out

@@ -4,12 +4,17 @@ import pytest
 
 from repro.errors import (
     CheckpointError,
+    CircuitOpenError,
     InjectedFault,
+    JobDeadlineExceeded,
     ReproError,
+    ServiceError,
+    ServiceOverloadError,
     SweepAborted,
     TaskFailed,
     TaskFailure,
     TaskTimeout,
+    exit_code_for,
 )
 
 
@@ -22,11 +27,36 @@ class TestTaxonomy:
         # Injected faults model arbitrary task errors, not harness errors.
         assert not issubclass(InjectedFault, ReproError)
 
+    def test_service_hierarchy(self):
+        assert issubclass(ServiceError, ReproError)
+        for cls in (ServiceOverloadError, CircuitOpenError, JobDeadlineExceeded):
+            assert issubclass(cls, ServiceError)
+
     def test_exit_codes_distinct_and_nonzero(self):
         codes = [TaskFailed.exit_code, TaskTimeout.exit_code,
-                 SweepAborted.exit_code, CheckpointError.exit_code]
+                 SweepAborted.exit_code, CheckpointError.exit_code,
+                 ServiceError.exit_code, ServiceOverloadError.exit_code,
+                 CircuitOpenError.exit_code, JobDeadlineExceeded.exit_code]
         assert len(set(codes)) == len(codes)
         assert all(c not in (0, 1, 2) for c in codes)  # 2 is argparse's
+
+    def test_service_error_payloads(self):
+        e = ServiceOverloadError("full", depth=9, max_depth=8)
+        assert (e.depth, e.max_depth) == (9, 8)
+        e = CircuitOpenError("open", breaker="disk", retry_after=1.5)
+        assert (e.breaker, e.retry_after) == ("disk", 1.5)
+        e = JobDeadlineExceeded("late", job_id="abc", deadline_s=2.0)
+        assert (e.job_id, e.deadline_s) == ("abc", 2.0)
+
+    def test_exit_code_for_round_trips_every_class(self):
+        for cls in (ReproError, TaskFailed, TaskTimeout, CheckpointError,
+                    ServiceError, ServiceOverloadError, CircuitOpenError,
+                    JobDeadlineExceeded):
+            assert exit_code_for(cls.__name__) == cls.exit_code
+
+    def test_exit_code_for_unknown_name_is_generic(self):
+        assert exit_code_for("SomethingNeverHeardOf") == ReproError.exit_code
+        assert exit_code_for("") == ReproError.exit_code
 
     def test_task_failure_summary(self):
         f = TaskFailure(index=7, fingerprint="ab12", attempts=3,

@@ -1,0 +1,88 @@
+"""Tests for the advisory flock wrapper the service layer builds on."""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.util.locking import FileLock
+
+
+class TestFileLock:
+    def test_acquire_release_roundtrip(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        assert not lock.locked
+        assert lock.acquire()
+        assert lock.locked
+        lock.release()
+        assert not lock.locked
+        assert (tmp_path / "x.lock").exists()  # left behind by design
+
+    def test_acquire_is_idempotent_while_held(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        assert lock.acquire()
+        assert lock.acquire()  # second call is a no-op True
+        lock.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        lock.acquire()
+        lock.release()
+        lock.release()  # must not raise
+
+    def test_context_manager(self, tmp_path):
+        with FileLock(tmp_path / "x.lock") as lock:
+            assert lock.locked
+        assert not lock.locked
+
+    def test_creates_parent_directories(self, tmp_path):
+        lock = FileLock(tmp_path / "deep" / "nested" / "x.lock")
+        assert lock.acquire()
+        lock.release()
+
+    @pytest.mark.skipif(not FileLock.enforced, reason="flock not enforced here")
+    def test_second_holder_is_refused_nonblocking(self, tmp_path):
+        a = FileLock(tmp_path / "x.lock")
+        b = FileLock(tmp_path / "x.lock")
+        assert a.acquire()
+        assert b.acquire(blocking=False) is False
+        assert not b.locked
+        a.release()
+        assert b.acquire(blocking=False)
+        b.release()
+
+    @pytest.mark.skipif(not FileLock.enforced, reason="flock not enforced here")
+    def test_kernel_releases_lock_when_holder_is_sigkilled(self, tmp_path):
+        """The crash-recovery property: a dead holder never wedges the lock."""
+        path = tmp_path / "x.lock"
+        ready = multiprocessing.Event()
+
+        def hold() -> None:
+            lock = FileLock(path)
+            lock.acquire()
+            ready.set()
+            time.sleep(30)  # until killed
+
+        p = multiprocessing.Process(target=hold)
+        p.start()
+        try:
+            assert ready.wait(timeout=10)
+            mine = FileLock(path)
+            assert mine.acquire(blocking=False) is False  # genuinely held
+            os.kill(p.pid, signal.SIGKILL)
+            p.join(timeout=10)
+            deadline = time.monotonic() + 5
+            acquired = False
+            while time.monotonic() < deadline:
+                if mine.acquire(blocking=False):
+                    acquired = True
+                    break
+                time.sleep(0.01)
+            assert acquired, "flock survived its holder's death"
+            mine.release()
+        finally:
+            if p.is_alive():
+                p.kill()
+                p.join()
