@@ -17,15 +17,19 @@ Layout of a spool directory::
     DRAIN              drain flag: present => stop claiming new jobs
 
 **Events, not states.** The log records immutable facts — ``submit``,
-``lease``, ``done``, ``fail`` — one JSON object per line; the current state
+``lease``, ``renew``, ``done``, ``fail`` — one JSON object per line; the
+current state
 of a job is a pure fold over its events (:meth:`JobSpool.jobs`). Appends
 happen under the flock, with flush+fsync, so a line is either fully present
 or (after a crash mid-write) a torn tail that the fold tolerates exactly
 like :class:`~repro.parallel.CheckpointJournal` does.
 
 **Leases, not assignments.** Claiming a job appends a ``lease`` event with
-a wall-clock expiry. A worker that dies mid-job simply stops renewing its
-existence; once the lease expires the job is claimable again (re-dispatch),
+a wall-clock expiry; a live worker extends it from its heartbeat path with
+``renew`` events (:meth:`JobSpool.renew`), so a long job is never
+re-dispatched out from under a healthy holder. A worker that dies mid-job
+simply stops renewing; once the lease expires the job is claimable again
+(re-dispatch),
 and the per-job checkpoint journal plus the content-addressed result store
 make the re-execution idempotent. ``done``/``fail`` from a stale lease
 holder is harmless: the fold keeps the first terminal event.
@@ -136,13 +140,17 @@ class JobSpool:
     # -- event log -----------------------------------------------------------
 
     def _append(self, record: dict[str, Any]) -> None:
-        # Caller holds the flock. O_APPEND + one write + fsync: a crash
-        # leaves at most a torn final line, which the fold tolerates.
+        # Caller holds the flock. O_APPEND + write-until-drained + fsync: a
+        # crash leaves at most a torn final line, which the fold tolerates.
+        # A short write (ENOSPC, signal) must be resumed, not ignored —
+        # a truncated line with later appends after it is mid-log corruption.
         self.root.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True) + "\n"
         fd = os.open(self.log_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
         try:
-            os.write(fd, line.encode("utf-8"))
+            view = memoryview(line.encode("utf-8"))
+            while view:
+                view = view[os.write(fd, view):]
             os.fsync(fd)
         finally:
             os.close(fd)
@@ -186,9 +194,14 @@ class JobSpool:
                         "message": None, "elapsed": None,
                     }
                 elif rec["terminal"] == "fail":
-                    # Resubmission re-opens a failed job.
+                    # Resubmission re-opens a failed job on fresh terms: the
+                    # submission clock and deadline restart now, so a job
+                    # that failed with JobDeadlineExceeded does not instantly
+                    # re-fail against its long-expired original deadline.
                     rec.update(terminal=None, error_type=None, message=None,
-                               worker=None, expires=None)
+                               worker=None, expires=None,
+                               submitted_t=float(ev.get("t", rec["submitted_t"])),
+                               deadline_s=ev.get("deadline_s"))
             elif rec is None:
                 continue  # lease/done/fail for an unknown id: ignore
             elif kind == "lease":
@@ -197,6 +210,13 @@ class JobSpool:
                 rec["n_leases"] += 1
                 rec["worker"] = ev.get("worker")
                 rec["expires"] = float(ev.get("expires", 0.0))
+            elif kind == "renew":
+                # Heartbeat-path lease extension; only the current holder
+                # may extend (a preempted worker's late renew is ignored,
+                # exactly like its late terminal event would be).
+                if rec["terminal"] is None and rec["worker"] == ev.get("worker"):
+                    rec["expires"] = float(
+                        ev.get("expires", rec["expires"] or 0.0))
             elif kind in _TERMINAL and rec["terminal"] is None:
                 rec["terminal"] = kind
                 rec["elapsed"] = ev.get("elapsed")
@@ -288,6 +308,20 @@ class JobSpool:
                 worker=worker, lease_expires=expires,
                 n_leases=job.n_leases + 1, n_expired=job.n_expired,
             )
+
+    def renew(self, jid: str, worker: str, now: float | None = None) -> None:
+        """Extend ``worker``'s lease on ``jid`` by another ``lease_ttl``.
+
+        Workers call this from their heartbeat path so a live job that
+        outlasts one TTL is never re-dispatched out from under its holder.
+        A renew from a worker that has since been preempted is a no-op in
+        the fold (the current holder's lease is authoritative).
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            self._append({"ev": "renew", "id": jid, "worker": worker,
+                          "expires": now + self.config.lease_ttl})
+        _metrics().counter("service.lease.renewed").inc()
 
     def complete(self, jid: str, worker: str, result: Any,
                  elapsed: float) -> None:

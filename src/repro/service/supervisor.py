@@ -273,12 +273,17 @@ class WorkerSupervisor:
                         idle_since = None
                 if self._drain_flag.is_set() and self.alive() == 0:
                     break
-                if all(s.abandoned for s in self.slots):
+                if not self._drain_flag.is_set() and \
+                        all(s.abandoned for s in self.slots):
                     pending = self.spool.depth()
-                    raise ServiceError(
-                        f"all {len(self.slots)} worker slot(s) exhausted "
-                        f"their restart budget with {pending} job(s) still "
-                        "queued; service cannot make progress")
+                    if pending > 0:
+                        raise ServiceError(
+                            f"all {len(self.slots)} worker slot(s) exhausted "
+                            f"their restart budget with {pending} job(s) "
+                            "still queued; service cannot make progress")
+                    # Nothing queued: an empty queue with no workers is a
+                    # finished service, not a failed one — drain and exit 0.
+                    self.request_drain(why="all-slots-abandoned")
                 time.sleep(self.config.poll_interval)
         finally:
             self.stop()

@@ -11,6 +11,11 @@ fails:
   :class:`~repro.parallel.CheckpointJournal`, so re-execution recomputes
   only the tail and the final result is bit-identical to an uninterrupted
   run.
+* **Slow job, live worker**: the per-task heartbeat path renews the lease
+  well inside its TTL, so a sweep that outlives one lease is not
+  re-dispatched from under a healthy holder; if a claim does race a live
+  holder (lease lapsed mid-task), the holder's journal flock turns the
+  race into a back-off — never a job failure.
 * **Result computed but completion lost** (killed between the result write
   and the ``done`` event): the result store is keyed by the job's content
   fingerprint, so the re-dispatched execution finds it and completes
@@ -40,7 +45,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import JobDeadlineExceeded, ReproError, SweepAborted
+from repro.errors import CheckpointError, JobDeadlineExceeded, SweepAborted
 from repro.obs.metrics import default_registry as _metrics
 from repro.parallel.executor import SerialExecutor
 from repro.parallel.resilient import (
@@ -57,6 +62,15 @@ from repro.util.rng import stream_seed
 __all__ = ["WorkerConfig", "Worker", "worker_main", "drain_queue"]
 
 _ABSENT = object()
+
+
+class _JournalLockHeld(Exception):
+    """Internal: another live worker holds this job's journal flock.
+
+    Raised (and handled) only inside :class:`Worker` — it means our claim
+    raced a still-running previous holder whose lease lapsed. That is a
+    back-off condition, never a job failure.
+    """
 
 
 @dataclass(frozen=True)
@@ -109,6 +123,11 @@ class _SweepTask:
         self.deadline_t = deadline_t
         self.heartbeat_every = max(1, heartbeat_every)
         self._n = 0
+        # Renew well inside the TTL so a sweep that outlives one lease is
+        # never re-dispatched from under us; checked every task (wall-clock
+        # gated) because a single slow task can outlast the config cadence.
+        self._renew_every = self.spool.config.lease_ttl / 3.0
+        self._last_renew = time.time()
 
     def __call__(self, args: tuple[Any, Any, int]) -> float:
         if self.deadline_t is not None and time.time() > self.deadline_t:
@@ -118,6 +137,10 @@ class _SweepTask:
         self._n += 1
         if self._n % self.heartbeat_every == 0:
             self.spool.heartbeat(self.worker, job=self.job_id)
+        now = time.time()
+        if now - self._last_renew >= self._renew_every:
+            self.spool.renew(self.job_id, self.worker, now=now)
+            self._last_renew = now
         from repro.simulator.interval import _eval_cycles
 
         return _eval_cycles(args)
@@ -138,7 +161,8 @@ class Worker:
             failure_threshold=config.disk_breaker_threshold,
             reset_timeout=config.disk_breaker_reset)
         #: Operational log: "claim:<id>", "done:<id>", "fail:<id>:<type>",
-        #: "cached-result:<id>" — assertable without reaching into the spool.
+        #: "cached-result:<id>", "conflict:<id>" — assertable without
+        #: reaching into the spool.
         self.events: list[str] = []
         self._configure_cache()
 
@@ -183,8 +207,14 @@ class Worker:
         items = [(c, profile, spec.n_instructions) for c in configs]
         task = _SweepTask(self.spool, self.config.name, job.id,
                           deadline_t, self.config.heartbeat_every)
-        journal = CheckpointJournal(self.spool.checkpoint_path(job.id),
-                                    resume=True, lock=True)
+        try:
+            journal = CheckpointJournal(self.spool.checkpoint_path(job.id),
+                                        resume=True, lock=True)
+        except CheckpointError as exc:
+            # The flock is kernel-held, so the previous holder is *alive*
+            # and still sweeping — its lease lapsed, not the job. Backing
+            # off (instead of failing the job) lets its done event land.
+            raise _JournalLockHeld(str(exc)) from exc
         ex = ResilientExecutor(
             SerialExecutor(),
             retry=RetryPolicy(max_attempts=self.config.task_retries + 1),
@@ -231,6 +261,7 @@ class Worker:
                 f"job {job.id[:12]} passed its deadline after the sweep",
                 job_id=job.id, deadline_s=job.deadline_s)
         self.spool.heartbeat(self.config.name, job=job.id)
+        self.spool.renew(job.id, self.config.name)
         builders = model_builders((spec.model,), seed=spec.seed)
         ladder = None
         if spec.robust:
@@ -252,7 +283,12 @@ class Worker:
     # -- the loop ------------------------------------------------------------
 
     def run_once(self) -> bool:
-        """Claim and finish at most one job; False when the queue was idle."""
+        """Claim and finish at most one job.
+
+        False when the queue was idle *or* the claimed job turned out to be
+        owned by a live worker (journal flock held): both mean "nothing to
+        do right now, sleep a poll interval before trying again".
+        """
         self.spool.heartbeat(self.config.name)
         job = self.spool.claim(self.config.name)
         if job is None:
@@ -270,7 +306,18 @@ class Worker:
             return True
         try:
             result = self.execute(job)
-        except ReproError as exc:
+        except _JournalLockHeld:
+            # The job is still owned by a live worker whose lease lapsed
+            # (our claim re-leased it). Not a failure: append no terminal
+            # event — the real holder's renew/done will land — and report
+            # idle so the loop backs off for a poll interval.
+            self.events.append(f"conflict:{job.id[:12]}")
+            _metrics().counter("service.jobs.lock_conflicts").inc()
+            return False
+        except Exception as exc:
+            # Deliberately broad: one bad job must not take the shard (and,
+            # via restart-budget exhaustion, the whole service) down with
+            # it; record it failed and keep serving.
             elapsed = time.monotonic() - started
             self.events.append(f"fail:{job.id[:12]}:{type(exc).__name__}")
             self.spool.fail(job.id, self.config.name,

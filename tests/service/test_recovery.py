@@ -13,6 +13,7 @@ from repro.service import (
     JobSpec,
     JobSpool,
     SpoolConfig,
+    Worker,
     WorkerConfig,
     drain_queue,
     list_jobs,
@@ -92,6 +93,52 @@ class TestResultReuse:
         assert spool.result(jid) == marker
 
 
+class TestPoisonJob:
+    def test_non_repro_exception_fails_job_not_worker(self, tmp_path):
+        """An unexpected exception (here: KeyError from an unknown app) must
+        be recorded as that job's failure, not crash the shard — a crashing
+        shard would re-dispatch the poison job into every replacement until
+        the whole service exhausted its restart budget."""
+        spool = JobSpool.ensure(tmp_path / "s")
+        bad = spool.submit(JobSpec(kind="sweep", app="nosuchapp",
+                                   start=0, stop=2, n_instructions=N_INSTR))
+        good = spool.submit(sweep_spec(stop=2))
+        assert drain_queue(spool, worker="w0") == 2  # same worker did both
+        views = spool.jobs()
+        assert views[bad].state == "failed"
+        assert views[bad].error_type == "KeyError"
+        assert views[good].state == "done"
+
+
+class TestLockConflict:
+    def test_journal_lock_conflict_backs_off_without_failing(self, tmp_path):
+        """A claim that races a still-live holder (lease lapsed, journal
+        flock held) must back off, not record a permanent failure that
+        masks the holder's eventual success."""
+        from repro.util.locking import FileLock
+
+        spool = JobSpool.ensure(tmp_path / "s", SpoolConfig(lease_ttl=0.2))
+        jid = spool.submit(sweep_spec(stop=2))
+        journal = spool.checkpoint_path(jid)
+        journal.parent.mkdir(parents=True, exist_ok=True)
+        holder = FileLock(journal.with_name(journal.name + ".lock"))
+        assert holder.acquire(blocking=False)  # the "live" original holder
+        try:
+            w = Worker(WorkerConfig(root=str(tmp_path / "s"), name="w1"),
+                       spool=spool)
+            assert w.run_once() is False  # claimed, conflicted, backed off
+            assert any(e.startswith("conflict:") for e in w.events)
+            assert not any(e.startswith("fail:") for e in w.events)
+            assert spool.jobs(now=1e12)[jid].state == "pending"  # no terminal
+        finally:
+            holder.release()
+        # Once the holder is gone (finished or died), the job completes.
+        while spool.jobs()[jid].state == "running":
+            time.sleep(0.05)  # conflicting claim's lease expires
+        assert drain_queue(spool, worker="w2") == 1
+        assert spool.jobs()[jid].state == "done"
+
+
 class TestDeadlines:
     def test_expired_deadline_fails_typed(self, tmp_path):
         root = str(tmp_path / "s")
@@ -102,6 +149,19 @@ class TestDeadlines:
             wait_for(root, jid, timeout=5.0)
         assert exc_info.value.error_type == "JobDeadlineExceeded"
         assert exc_info.value.exit_code == 14
+
+    def test_resubmit_after_deadline_failure_runs_on_new_terms(self, tmp_path):
+        """Resubmitting a deadline-failed job with a fresh deadline must
+        actually run it — not re-fail against the long-expired original."""
+        root = str(tmp_path / "s")
+        jid = submit_job(root, sweep_spec(), deadline_s=1e-6)
+        time.sleep(0.01)
+        drain_queue(JobSpool.open(root))
+        with pytest.raises(JobFailed):
+            wait_for(root, jid, timeout=5.0)
+        assert submit_job(root, sweep_spec(), deadline_s=3600.0) == jid
+        drain_queue(JobSpool.open(root))
+        assert wait_for(root, jid, timeout=5.0).state == "done"
 
     def test_generous_deadline_is_harmless(self, tmp_path):
         root = str(tmp_path / "s")

@@ -1,6 +1,7 @@
 """Tests for the durable job spool: fold semantics, leases, backpressure."""
 
 import json
+import time
 
 import pytest
 
@@ -110,6 +111,38 @@ class TestLeases:
         assert [v.id for v in stale] == [jid]
 
 
+class TestRenewal:
+    def test_renew_extends_active_lease(self, spool):
+        """A renewing holder keeps ownership past the original TTL."""
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.renew(jid, "w0", now=108.0)  # new expiry: 108 + 10
+        assert spool.claim("w1", now=111.0) is None  # would expire unrenewed
+        view = spool.jobs(now=111.0)[jid]
+        assert view.state == "running"
+        assert view.worker == "w0"
+        assert view.lease_expires == 118.0
+        assert view.n_leases == 1
+        assert view.n_expired == 0
+
+    def test_renew_from_preempted_holder_is_ignored(self, spool):
+        """Only the current lease holder may extend the lease."""
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.claim("w1", now=111.0)  # w0 expired; re-dispatched to w1
+        spool.renew(jid, "w0", now=112.0)  # stale holder wakes up late
+        view = spool.jobs(now=112.0)[jid]
+        assert view.worker == "w1"
+        assert view.lease_expires == 121.0  # w1's lease, untouched
+
+    def test_renew_after_terminal_is_ignored(self, spool):
+        jid = spool.submit(spec())
+        spool.claim("w0", now=100.0)
+        spool.complete(jid, "w0", 1, elapsed=0.1)
+        spool.renew(jid, "w0", now=105.0)
+        assert spool.jobs(now=1e9)[jid].state == "done"
+
+
 class TestTerminal:
     def test_complete_stores_result(self, spool):
         jid = spool.submit(spec())
@@ -149,6 +182,20 @@ class TestTerminal:
         assert spool.depth() == 0
         assert spool.submit(spec()) == jid
         assert spool.jobs()[jid].state == "pending"
+
+    def test_resubmit_restarts_deadline_and_clock(self, spool):
+        """A job that failed its deadline must not re-fail instantly: the
+        resubmission's own time and deadline replace the originals."""
+        jid = spool.submit(spec(), deadline_s=1e-6)
+        first = spool.jobs()[jid]
+        spool.claim("w0")
+        spool.fail(jid, "w0", "JobDeadlineExceeded", "expired", elapsed=0.0)
+        time.sleep(0.01)
+        assert spool.submit(spec(), deadline_s=60.0) == jid
+        view = spool.jobs()[jid]
+        assert view.state == "pending"
+        assert view.deadline_s == 60.0
+        assert view.submitted_t > first.submitted_t
 
 
 class TestDurability:

@@ -5,6 +5,7 @@ import time
 import numpy as np
 import pytest
 
+from repro.errors import ServiceError
 from repro.parallel import FaultInjector
 from repro.service import (
     JobSpec,
@@ -86,6 +87,28 @@ class TestSlotPolicy:
         sup.poll()
         assert sup.slots[0].process is None
         assert not any(e.startswith("spawn:") for e in sup.events)
+
+    def test_all_abandoned_with_empty_queue_exits_cleanly(
+            self, tmp_path, monkeypatch):
+        """No queued work + no workers is a finished service, not a failed
+        one — run() must drain and exit 0 instead of raising."""
+        sup = self._sup(tmp_path)
+        for slot in sup.slots:
+            slot.abandoned = True
+        monkeypatch.setattr(sup, "start", lambda: None)
+        monkeypatch.setattr(sup, "poll", lambda: None)
+        assert sup.run() == 0
+        assert "drain-requested:all-slots-abandoned" in sup.events
+
+    def test_all_abandoned_with_queued_work_raises(self, tmp_path, monkeypatch):
+        sup = self._sup(tmp_path)
+        sup.spool.submit(sweep_spec())
+        for slot in sup.slots:
+            slot.abandoned = True
+        monkeypatch.setattr(sup, "start", lambda: None)
+        monkeypatch.setattr(sup, "poll", lambda: None)
+        with pytest.raises(ServiceError, match="restart budget"):
+            sup.run()
 
     def test_run_restores_displaced_signal_handlers(self, tmp_path):
         import signal
