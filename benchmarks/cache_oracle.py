@@ -1,0 +1,303 @@
+"""Offline eviction-policy evaluator: every policy vs the Belady/OPT oracle.
+
+Replays access traces — the four seeded synthetic workloads from
+``cache_traces.py`` by default, or captured ``repro-cachetrace/1`` files
+via ``--trace`` — through every shipped eviction policy
+(:data:`repro.cache.POLICIES`) plus a clairvoyant Belady/OPT oracle, and
+writes hit-rate-vs-capacity curves to ``benchmarks/results/BENCH_cache.json``.
+
+The oracle (evict the resident key whose next use is farthest in the
+future) is the provable upper bound on hit rate for any demand-fetch
+cache of the same capacity, so the gap ``oracle - policy`` is the exact
+headroom left on that workload.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/cache_oracle.py [--out PATH]
+        [--trace CAPTURE.jsonl ...] [--seed N]
+
+Exit codes: 0 ok; 2 a policy beat the oracle (replay bug); 3 no shipped
+policy beat LRU on the scan / phase-shift adversarial workloads; 4 a
+policy's hit rate regressed more than ``PIN_TOLERANCE`` below its pinned
+value on a synthetic workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from cache_traces import TraceGenerator, WORKLOADS  # noqa: E402
+
+from repro.cache import POLICIES, make_policy, read_cache_trace  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Capacity sweep, as fractions of the trace's distinct-key count.
+CAPACITY_FRACTIONS = (0.05, 0.1, 0.2, 0.4)
+
+#: The fraction the pins and the LRU-challenge check are evaluated at.
+REFERENCE_FRACTION = 0.1
+
+#: Hit rates regress-fail if they drop more than this (absolute) below pin.
+PIN_TOLERANCE = 0.01
+
+#: Pinned hit rates at REFERENCE_FRACTION for seed 0 — exact values from a
+#: replay of the deterministic synthetic traces (policies and the replay
+#: loop are pure functions of the trace). Regenerate with --print-pins
+#: after an intentional policy change.
+PINNED: dict[str, dict[str, float]] = {
+    "static": {
+        "lru": 0.63770, "lfu": 0.81975, "2q": 0.69480, "arc": 0.76805,
+        "oracle": 0.84915,
+    },
+    "phase_shift": {
+        "lru": 0.77915, "lfu": 0.27830, "2q": 0.79195, "arc": 0.81220,
+        "oracle": 0.85200,
+    },
+    "oscillating": {
+        "lru": 0.19775, "lfu": 0.10520, "2q": 0.18875, "arc": 0.19690,
+        "oracle": 0.51580,
+    },
+    "scan": {
+        "lru": 0.48685, "lfu": 0.60020, "2q": 0.59710, "arc": 0.60035,
+        "oracle": 0.61890,
+    },
+}
+
+_MISS = object()
+
+
+def replay_policy(name: str, keys: list[str], capacity: int) -> dict:
+    """Run ``keys`` through one policy instance; return its counters."""
+    policy = make_policy(name, capacity)
+    for key in keys:
+        if policy.get(key, _MISS) is _MISS:
+            policy.put(key, 1)
+    counters = policy.counters()
+    total = counters["hits"] + counters["misses"]
+    counters["hit_rate"] = counters["hits"] / total if total else 0.0
+    return counters
+
+
+def belady_hit_rate(keys: list[str], capacity: int) -> float:
+    """Clairvoyant OPT replay: evict the key reused farthest in the future.
+
+    The incoming key is itself an eviction candidate — if every resident
+    is reused sooner than the missing key's next use, the miss bypasses
+    the cache entirely. That is the true (bypass-allowed) Belady bound,
+    which dominates the mandatory-insert discipline every shipped policy
+    follows.
+
+    A lazy max-heap of (-next_use, key) stands in for a priority queue
+    with decrease-key: every access pushes the key's new next-use, and
+    eviction pops stale entries until the heap top agrees with the
+    resident table — O(n log n) over the trace instead of
+    O(n * capacity).
+    """
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    n = len(keys)
+    inf = float("inf")
+    next_use = [inf] * n
+    last_seen: dict[str, int] = {}
+    for i in range(n - 1, -1, -1):
+        next_use[i] = last_seen.get(keys[i], inf)
+        last_seen[keys[i]] = i
+
+    resident: dict[str, float] = {}  # key -> its current next-use index
+    heap: list[tuple[float, str]] = []
+    hits = 0
+    for i, key in enumerate(keys):
+        if key in resident:
+            hits += 1
+        elif len(resident) >= capacity:
+            while resident.get(heap[0][1]) != -heap[0][0]:
+                heapq.heappop(heap)  # stale: key re-pushed or evicted since
+            if -heap[0][0] <= next_use[i]:
+                continue  # incoming key is the farthest-reused: bypass
+            _, victim = heapq.heappop(heap)
+            del resident[victim]
+        resident[key] = next_use[i]
+        heapq.heappush(heap, (-next_use[i], key))
+    return hits / n if n else 0.0
+
+
+def evaluate_trace(name: str, keys: list[str],
+                   fractions=CAPACITY_FRACTIONS) -> dict:
+    """Hit-rate-vs-capacity curves for one trace, every policy + oracle."""
+    n_distinct = len(set(keys))
+    curves = []
+    for fraction in fractions:
+        capacity = max(4, int(n_distinct * fraction))
+        start = time.perf_counter()
+        hit_rate = {policy: replay_policy(policy, keys, capacity)["hit_rate"]
+                    for policy in POLICIES}
+        hit_rate["oracle"] = belady_hit_rate(keys, capacity)
+        curves.append({
+            "capacity": capacity,
+            "capacity_fraction": fraction,
+            "hit_rate": hit_rate,
+            "replay_seconds": time.perf_counter() - start,
+        })
+    return {
+        "name": name,
+        "n_requests": len(keys),
+        "n_distinct": n_distinct,
+        "curves": curves,
+    }
+
+
+def _reference_rates(entry: dict) -> dict[str, float]:
+    for curve in entry["curves"]:
+        if curve["capacity_fraction"] == REFERENCE_FRACTION:
+            return curve["hit_rate"]
+    return entry["curves"][0]["hit_rate"]
+
+
+def run_checks(workloads: dict[str, dict]) -> tuple[list[str], list[str]]:
+    """Sanity + quality + pin checks; returns (failures, notes)."""
+    failures: list[str] = []
+    notes: list[str] = []
+    eps = 1e-9
+    for name, entry in workloads.items():
+        for curve in entry["curves"]:
+            oracle = curve["hit_rate"]["oracle"]
+            for policy in POLICIES:
+                if curve["hit_rate"][policy] > oracle + eps:
+                    failures.append(
+                        f"{name}@{curve['capacity']}: {policy} "
+                        f"{curve['hit_rate'][policy]:.4f} beat the oracle "
+                        f"{oracle:.4f} (replay bug)")
+
+    for adversarial in ("scan", "phase_shift"):
+        entry = workloads.get(adversarial)
+        if entry is None:
+            continue
+        rates = _reference_rates(entry)
+        better = [p for p in POLICIES
+                  if p != "lru" and rates[p] > rates["lru"] + eps]
+        if better:
+            notes.append(
+                f"{adversarial}: {', '.join(sorted(better))} beat LRU "
+                f"({rates['lru']:.4f}) at the reference capacity")
+        else:
+            failures.append(
+                f"{adversarial}: no shipped policy beat LRU "
+                f"({rates['lru']:.4f}) at the reference capacity")
+
+    for name, pins in PINNED.items():
+        entry = workloads.get(name)
+        if entry is None:
+            continue
+        rates = _reference_rates(entry)
+        for policy, pinned in pins.items():
+            got = rates.get(policy)
+            if got is None:
+                continue
+            if got < pinned - PIN_TOLERANCE:
+                failures.append(
+                    f"pin regression: {name}/{policy} hit rate {got:.5f} "
+                    f"< pinned {pinned:.5f} - {PIN_TOLERANCE}")
+    return failures, notes
+
+
+def load_captured_trace(path: Path) -> list[str]:
+    """Key sequence of a captured ``repro-cachetrace/1`` file, in order."""
+    return [record["key"] for record in read_cache_trace(path)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(RESULTS_DIR / "BENCH_cache.json"),
+                        metavar="PATH", help="where to write the JSON report")
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="CAPTURE.jsonl",
+                        help="also replay a captured repro-cachetrace/1 file "
+                             "(repeatable; pins never apply to captures)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="synthetic trace seed (pins assume 0)")
+    parser.add_argument("--print-pins", action="store_true",
+                        help="print a PINNED block for the current replay "
+                             "and skip the pin check")
+    args = parser.parse_args(argv)
+
+    generator = TraceGenerator(seed=args.seed)
+    traces = generator.all_traces()
+
+    workloads: dict[str, dict] = {}
+    for name in WORKLOADS:
+        trace = traces[name]
+        print(f"[{name}] {trace.n_requests} requests, "
+              f"{trace.n_distinct} distinct keys...")
+        workloads[name] = entry = evaluate_trace(name, trace.keys)
+        rates = _reference_rates(entry)
+        print("      " + "  ".join(
+            f"{p}={rates[p]:.4f}" for p in (*POLICIES, "oracle")))
+
+    captures: dict[str, dict] = {}
+    for raw in args.trace:
+        path = Path(raw)
+        keys = load_captured_trace(path)
+        if not keys:
+            print(f"[capture {path.name}] empty trace, skipping")
+            continue
+        print(f"[capture {path.name}] {len(keys)} requests, "
+              f"{len(set(keys))} distinct keys...")
+        captures[path.name] = entry = evaluate_trace(path.name, keys)
+        rates = _reference_rates(entry)
+        print("      " + "  ".join(
+            f"{p}={rates[p]:.4f}" for p in (*POLICIES, "oracle")))
+
+    if args.print_pins:
+        pins = {name: {p: round(_reference_rates(entry)[p], 5)
+                       for p in (*POLICIES, "oracle")}
+                for name, entry in workloads.items()}
+        print("PINNED = " + json.dumps(pins, indent=4))
+        failures, notes = [], ["pin check skipped (--print-pins)"]
+    else:
+        failures, notes = run_checks(workloads)
+
+    report = {
+        "schema": "repro-bench-cache/1",
+        "seed": args.seed,
+        "capacity_fractions": list(CAPACITY_FRACTIONS),
+        "reference_fraction": REFERENCE_FRACTION,
+        "pin_tolerance": PIN_TOLERANCE,
+        "pinned": PINNED,
+        "workloads": workloads,
+        "captures": captures,
+        "checks": {"failures": failures, "notes": notes},
+        "unix_time": time.time(),
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    for note in notes:
+        print(f"note: {note}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if any("oracle" in f and "replay bug" in f for f in failures):
+            return 2
+        if any("no shipped policy beat LRU" in f for f in failures):
+            return 3
+        return 4
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

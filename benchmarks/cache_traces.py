@@ -1,0 +1,139 @@
+"""Seeded synthetic cache-access traces for offline eviction-policy replay.
+
+Four workload shapes cover the access patterns repeated design-space
+sweeps and the job service actually produce, so ``cache_oracle.py`` can
+evaluate every eviction policy without any recorded data:
+
+``static``
+    A stable hot set absorbs most references; the cold majority is sampled
+    uniformly. The baseline every policy should handle (LFU's best case).
+``phase_shift``
+    The hot set relocates wholesale every phase — a new application's
+    sweeps arriving at the service. Punishes frequency bias (LFU keys from
+    a dead phase squat on capacity).
+``oscillating``
+    Two working sets alternate on a fixed period (diurnal traffic between
+    two tenants). Rewards policies that re-learn quickly.
+``scan``
+    A small hot set plus repeated long sequential scans over a region far
+    larger than any reasonable capacity — the classic LRU killer (each
+    scan flushes the hot set out of a recency-only cache).
+
+Every generator is a pure function of the seed (``random.Random``
+streams, no global state), so hit rates replayed from these traces are
+exact, pinnable constants.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["SyntheticTrace", "TraceGenerator", "WORKLOADS"]
+
+#: Workload names in the order the oracle report lists them.
+WORKLOADS = ("static", "phase_shift", "oscillating", "scan")
+
+
+@dataclass(frozen=True)
+class SyntheticTrace:
+    """One generated access sequence plus its provenance."""
+
+    name: str
+    seed: int
+    keys: list[str] = field(repr=False)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.keys)
+
+    @property
+    def n_distinct(self) -> int:
+        return len(set(self.keys))
+
+
+class TraceGenerator:
+    """Deterministic generator for the four synthetic workload shapes."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def _rng(self, stream: str) -> random.Random:
+        return random.Random(f"{self.seed}/{stream}")
+
+    @staticmethod
+    def _key(i: int) -> str:
+        return f"k{i:06d}"
+
+    def static(self, n_requests: int = 20000, n_keys: int = 600,
+               hot_fraction: float = 0.1, hot_weight: float = 0.85,
+               ) -> SyntheticTrace:
+        """Stable hot set: ``hot_weight`` of references to the hot minority."""
+        rng = self._rng("static")
+        n_hot = max(1, int(n_keys * hot_fraction))
+        keys = []
+        for _ in range(n_requests):
+            if rng.random() < hot_weight:
+                keys.append(self._key(rng.randrange(n_hot)))
+            else:
+                keys.append(self._key(n_hot + rng.randrange(n_keys - n_hot)))
+        return SyntheticTrace("static", self.seed, keys)
+
+    def phase_shift(self, n_requests: int = 20000, n_phases: int = 4,
+                    keys_per_phase: int = 150, hot_weight: float = 0.85,
+                    overlap: float = 0.0) -> SyntheticTrace:
+        """Hot set relocates wholesale every ``n_requests / n_phases``."""
+        rng = self._rng("phase_shift")
+        per_phase = n_requests // n_phases
+        stride = max(1, int(keys_per_phase * (1.0 - overlap)))
+        keys = []
+        for phase in range(n_phases):
+            base = phase * stride
+            for _ in range(per_phase):
+                if rng.random() < hot_weight:
+                    keys.append(self._key(base + rng.randrange(keys_per_phase)))
+                else:
+                    keys.append(self._key(10_000 + rng.randrange(2000)))
+        return SyntheticTrace("phase_shift", self.seed, keys)
+
+    def oscillating(self, n_requests: int = 20000, set_size: int = 120,
+                    period: int = 2000) -> SyntheticTrace:
+        """Two working sets alternate every ``period`` requests."""
+        rng = self._rng("oscillating")
+        keys = []
+        for i in range(n_requests):
+            which = (i // period) % 2
+            base = which * set_size
+            keys.append(self._key(base + rng.randrange(set_size)))
+        return SyntheticTrace("oscillating", self.seed, keys)
+
+    def scan(self, n_requests: int = 20000, n_hot: int = 50,
+             scan_length: int = 900, hot_weight: float = 0.6,
+             ) -> SyntheticTrace:
+        """Hot set interleaved with repeated long sequential scans.
+
+        The scan cursor walks a ``scan_length``-key region round-robin, so
+        scan keys *do* recur — but with a reuse distance of
+        ``scan_length / (1 - hot_weight)`` interleaved references, far past
+        any capacity the oracle sweeps. A recency-only cache keeps evicting
+        hot keys to make room for scan keys it will not see again in time.
+        """
+        rng = self._rng("scan")
+        keys = []
+        cursor = 0
+        for _ in range(n_requests):
+            if rng.random() < hot_weight:
+                keys.append(self._key(rng.randrange(n_hot)))
+            else:
+                keys.append(self._key(100_000 + cursor))
+                cursor = (cursor + 1) % scan_length
+        return SyntheticTrace("scan", self.seed, keys)
+
+    def all_traces(self) -> dict[str, SyntheticTrace]:
+        """Every workload at its default size, name-keyed (stable order)."""
+        return {
+            "static": self.static(),
+            "phase_shift": self.phase_shift(),
+            "oscillating": self.oscillating(),
+            "scan": self.scan(),
+        }

@@ -1,0 +1,77 @@
+"""Pluggable eviction policies for the result cache's memory tier.
+
+One module per policy, all implementing the
+:class:`~repro.cache.policies.base.EvictionPolicy` contract
+(``get``/``put``/``evict``/``clear`` plus shared hit/miss/eviction
+counters), so :class:`repro.cache.ResultCache` can swap the replacement
+strategy without touching the probe path:
+
+======  =====================================================================
+name    strategy
+======  =====================================================================
+ lru    least-recently-used ``OrderedDict`` (the default; historical
+        behaviour, bit-identical to the original memory tier)
+ lfu    least-frequently-used with O(1) frequency buckets and LRU tiebreak
+ 2q     Johnson & Shasha's 2Q: FIFO admission queue + ghost-gated main LRU
+        (scan-resistant)
+ arc    Megiddo & Modha's ARC: self-tuning recency/frequency split with
+        ghost-list feedback (scan-resistant *and* phase-adaptive)
+======  =====================================================================
+
+Policy selection is wired through ``ResultCache(policy=...)``,
+``repro.cache.configure(policy=...)``, the ``REPRO_CACHE_POLICY``
+environment variable, and the CLI's ``--cache-policy`` flag; hit-rate
+behaviour of every policy is benchmarked against a Belady/OPT clairvoyant
+oracle by ``benchmarks/cache_oracle.py``.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies.arc import ARCPolicy
+from repro.cache.policies.base import EvictionPolicy
+from repro.cache.policies.lfu import LFUPolicy
+from repro.cache.policies.lru import LRUPolicy
+from repro.cache.policies.twoq import TwoQPolicy
+
+__all__ = [
+    "ARCPolicy",
+    "EvictionPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "POLICIES",
+    "TwoQPolicy",
+    "available_policies",
+    "make_policy",
+    "normalize_policy",
+]
+
+#: Registry name -> policy class. ``"twoq"`` is accepted as an alias of
+#: ``"2q"`` by :func:`make_policy` (module names cannot start with a digit).
+POLICIES: dict[str, type[EvictionPolicy]] = {
+    "lru": LRUPolicy,
+    "lfu": LFUPolicy,
+    "2q": TwoQPolicy,
+    "arc": ARCPolicy,
+}
+
+_ALIASES = {"twoq": "2q"}
+
+
+def normalize_policy(name: str) -> str:
+    """Canonical registry name for ``name``; raises ValueError if unknown."""
+    canonical = _ALIASES.get(name.strip().lower(), name.strip().lower())
+    if canonical not in POLICIES:
+        raise ValueError(
+            f"unknown cache policy {name!r}; choose from "
+            f"{', '.join(sorted(POLICIES))}")
+    return canonical
+
+
+def make_policy(name: str, max_entries: int = 128) -> EvictionPolicy:
+    """Instantiate the named eviction policy with the given capacity."""
+    return POLICIES[normalize_policy(name)](max_entries=max_entries)
+
+
+def available_policies() -> tuple[str, ...]:
+    """The registry names, in stable (sorted) order."""
+    return tuple(sorted(POLICIES))

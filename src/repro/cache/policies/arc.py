@@ -1,0 +1,162 @@
+"""ARC eviction (Megiddo & Modha, FAST '03): self-tuning recency/frequency.
+
+Four LRU lists share the story of the last ``2 * max_entries`` distinct
+keys:
+
+* ``T1`` — resident keys seen exactly once recently (recency side);
+* ``T2`` — resident keys seen at least twice (frequency side);
+* ``B1`` / ``B2`` — ghost tails of T1/T2: keys only, no values.
+
+``|T1| + |T2| <= max_entries`` always. The adaptation target ``p`` is the
+capacity share currently granted to T1: a hit in the B1 ghost list means
+"we evicted a recency key too early" and grows ``p``; a hit in B2 shrinks
+it. The policy therefore *learns* whether the live workload is
+scan/loop-shaped (push capacity toward T2, like 2Q) or shifting its hot
+set (push it toward T1, like LRU) — with no tunables to configure.
+
+This implementation adapts the paper's single ``request(x)`` entry point
+to the ``get``/``put`` split the result cache uses: ``get`` serves and
+re-ranks resident keys; ``put`` runs the ghost-hit adaptation and the
+REPLACE routine when admitting a key that missed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.cache.policies.base import EvictionPolicy
+
+__all__ = ["ARCPolicy"]
+
+_MISS = object()
+
+
+class ARCPolicy(EvictionPolicy):
+    """Bounded mapping with adaptive replacement (ARC) eviction."""
+
+    name = "arc"
+
+    def __init__(self, max_entries: int = 128) -> None:
+        super().__init__(max_entries)
+        self.p = 0.0                     # target size of T1 (adapted)
+        self._t1: OrderedDict[str, Any] = OrderedDict()   # cold -> hot
+        self._t2: OrderedDict[str, Any] = OrderedDict()
+        self._b1: OrderedDict[str, None] = OrderedDict()  # ghosts
+        self._b2: OrderedDict[str, None] = OrderedDict()
+        self.b1_hits = 0
+        self.b2_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._t1.get(key, _MISS)
+        if value is not _MISS:
+            # Second reference: graduate from the recency to the frequency side.
+            del self._t1[key]
+            self._t2[key] = value
+            self.hits += 1
+            return value
+        value = self._t2.get(key, _MISS)
+        if value is not _MISS:
+            self._t2.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        return default
+
+    def _replace(self, in_b2: bool) -> str:
+        """The paper's REPLACE: demote one resident entry to its ghost list."""
+        t1_len = len(self._t1)
+        take_t1 = t1_len >= 1 and (
+            t1_len > self.p or (in_b2 and t1_len == int(self.p))
+            or not self._t2)
+        if take_t1:
+            key, _ = self._t1.popitem(last=False)
+            self._b1[key] = None
+        else:
+            key, _ = self._t2.popitem(last=False)
+            self._b2[key] = None
+        self.evictions += 1
+        return key
+
+    def put(self, key: str, value: Any) -> None:
+        c = self.max_entries
+        if key in self._t1:
+            # Refresh counts as a reference: move to the frequency side.
+            del self._t1[key]
+            self._t2[key] = value
+            return
+        if key in self._t2:
+            self._t2[key] = value
+            self._t2.move_to_end(key)
+            return
+        if key in self._b1:
+            # Ghost hit on the recency side: grant T1 more capacity.
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self.p = min(float(c), self.p + delta)
+            self.b1_hits += 1
+            if len(self) >= c:
+                self._replace(in_b2=False)
+            del self._b1[key]
+            self._t2[key] = value
+            return
+        if key in self._b2:
+            # Ghost hit on the frequency side: grant T2 more capacity.
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self.p = max(0.0, self.p - delta)
+            self.b2_hits += 1
+            if len(self) >= c:
+                self._replace(in_b2=True)
+            del self._b2[key]
+            self._t2[key] = value
+            return
+        # Entirely new key (no ghost memory).
+        l1 = len(self._t1) + len(self._b1)
+        if l1 == c:
+            if len(self._t1) < c:
+                self._b1.popitem(last=False)
+                if len(self) >= c:
+                    self._replace(in_b2=False)
+            else:
+                # T1 alone fills the cache: drop its LRU outright (B1 is
+                # empty in this state, so there is no ghost to record).
+                self._t1.popitem(last=False)
+                self.evictions += 1
+        elif l1 < c:
+            total = l1 + len(self._t2) + len(self._b2)
+            if total >= c:
+                if total == 2 * c:
+                    self._b2.popitem(last=False)
+                if len(self) >= c:
+                    self._replace(in_b2=False)
+        self._t1[key] = value
+
+    def evict(self) -> str | None:
+        if len(self) == 0:
+            return None
+        return self._replace(in_b2=False)
+
+    def clear(self) -> int:
+        n = len(self)
+        self._t1.clear()
+        self._t2.clear()
+        self._b1.clear()
+        self._b2.clear()
+        self.p = 0.0
+        return n
+
+    def _extra_counters(self) -> dict[str, Any]:
+        return {
+            "target_p": round(self.p, 3),
+            "t1": len(self._t1),
+            "t2": len(self._t2),
+            "b1_ghosts": len(self._b1),
+            "b2_ghosts": len(self._b2),
+            "b1_hits": self.b1_hits,
+            "b2_hits": self.b2_hits,
+        }

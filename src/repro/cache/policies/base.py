@@ -1,0 +1,95 @@
+"""The eviction-policy contract every memory-tier policy implements.
+
+A policy is a bounded key/value mapping that decides *which* resident entry
+to sacrifice when a new one arrives at capacity. The
+:class:`repro.cache.ResultCache` memory tier talks to policies through four
+operations — ``get`` / ``put`` / ``evict`` / ``clear`` — plus the three
+shared counters (``hits`` / ``misses`` / ``evictions``) its own stats and
+event streams are built from. Everything else (ghost lists, frequency
+buckets, adaptation targets) is private to the policy and surfaced only
+through :meth:`EvictionPolicy.counters`.
+
+Contract invariants (pinned by ``tests/cache/test_policy_properties.py``
+for every shipped policy):
+
+* ``len(policy) <= max_entries`` at all times;
+* a key just ``put`` is resident, and ``get`` returns its latest value;
+* an evicted key is really gone: ``key in policy`` is False and ``get``
+  returns the default (ghost lists may remember the *key*, never the value);
+* ``hits + misses`` equals the number of ``get`` calls, and ``evictions``
+  equals insertions minus residents (refreshing an existing key — even at
+  capacity — never evicts and never bumps the eviction counter).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar
+
+__all__ = ["EvictionPolicy"]
+
+
+class EvictionPolicy(ABC):
+    """Bounded mapping with a pluggable eviction decision and counters."""
+
+    #: Registry name (``"lru"``, ``"lfu"``, ``"2q"``, ``"arc"``).
+    name: ClassVar[str] = "?"
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- the contract --------------------------------------------------------
+
+    @abstractmethod
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``, counting the hit/miss and updating recency state."""
+
+    @abstractmethod
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting per-policy when over budget."""
+
+    @abstractmethod
+    def evict(self) -> str | None:
+        """Force-evict one entry now; returns the victim key (None if empty)."""
+
+    @abstractmethod
+    def clear(self) -> int:
+        """Drop every resident entry and all ghost/recency state (counters
+        are preserved, like the historical LRU); returns entries dropped."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of *resident* entries (ghost keys never count)."""
+
+    @abstractmethod
+    def __contains__(self, key: str) -> bool:
+        """Whether ``key`` is resident (ghost keys are not ``in`` the cache)."""
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def counters(self) -> dict[str, Any]:
+        """Shared counters plus this policy's private diagnostics."""
+        base: dict[str, Any] = {
+            "policy": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self),
+            "max_entries": self.max_entries,
+        }
+        base.update(self._extra_counters())
+        return base
+
+    def _extra_counters(self) -> dict[str, Any]:
+        """Per-policy diagnostics merged into :meth:`counters`."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"{type(self).__name__}(max_entries={self.max_entries}, "
+                f"entries={len(self)}, hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})")

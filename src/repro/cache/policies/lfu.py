@@ -1,0 +1,109 @@
+"""Least-frequently-used eviction with O(1) operations and LRU tiebreak.
+
+The classic constant-time LFU structure: values in one dict, a frequency
+per key, and an ``OrderedDict`` bucket per frequency holding that
+frequency's keys in recency order. The victim is the least-recent key of
+the lowest non-empty frequency bucket, so ties between equally-cold keys
+fall back to LRU order and the result is fully deterministic.
+
+LFU shines on static hot-set workloads (a stable popular minority keeps
+its high counts and is never displaced by one-shot scan keys) but adapts
+slowly to phase shifts: keys popular in a previous phase retain their
+counts and squat on capacity. The oracle benchmark shows both effects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.cache.policies.base import EvictionPolicy
+
+__all__ = ["LFUPolicy"]
+
+_MISS = object()
+
+
+class LFUPolicy(EvictionPolicy):
+    """Bounded mapping evicting the least-frequently-used entry."""
+
+    name = "lfu"
+
+    def __init__(self, max_entries: int = 128) -> None:
+        super().__init__(max_entries)
+        self._values: dict[str, Any] = {}
+        self._freq: dict[str, int] = {}
+        self._buckets: dict[int, OrderedDict[str, None]] = {}
+        self._min_freq = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def _touch(self, key: str) -> None:
+        """Move ``key`` up one frequency bucket (any access: get or refresh)."""
+        freq = self._freq[key]
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._buckets.setdefault(freq + 1, OrderedDict())[key] = None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._values.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return default
+        self._touch(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        if key in self._values:
+            # Refresh counts as an access; size is unchanged, never evicts.
+            self._values[key] = value
+            self._touch(key)
+            return
+        if len(self._values) >= self.max_entries:
+            self.evict()
+        self._values[key] = value
+        self._freq[key] = 1
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_freq = 1
+
+    def evict(self) -> str | None:
+        if not self._values:
+            return None
+        if self._min_freq not in self._buckets:
+            # Defensive resync; _touch keeps this exact in normal operation.
+            self._min_freq = min(self._buckets)
+        bucket = self._buckets[self._min_freq]
+        key, _ = bucket.popitem(last=False)   # least recent within the tie
+        if not bucket:
+            del self._buckets[self._min_freq]
+            if self._buckets:
+                self._min_freq = min(self._buckets)
+        del self._values[key]
+        del self._freq[key]
+        self.evictions += 1
+        return key
+
+    def clear(self) -> int:
+        n = len(self._values)
+        self._values.clear()
+        self._freq.clear()
+        self._buckets.clear()
+        self._min_freq = 0
+        return n
+
+    def _extra_counters(self) -> dict[str, Any]:
+        freqs = self._freq.values()
+        return {
+            "min_freq": min(freqs) if self._freq else 0,
+            "max_freq": max(freqs) if self._freq else 0,
+        }

@@ -1,0 +1,73 @@
+"""Least-recently-used eviction: the default, and the historical behaviour.
+
+A single ``OrderedDict`` ordered cold→hot. ``get`` and ``put`` both refresh
+recency; eviction pops the cold end. Refreshing an existing key at capacity
+replaces its value in place — it never evicts and never bumps the eviction
+counter (pinned by ``tests/cache/test_policies.py``).
+
+LRU is optimal under pure temporal locality but degrades badly under
+scan- and loop-shaped access patterns (a sequential pass over more keys
+than fit flushes the entire hot set); see :mod:`repro.cache.policies.twoq`
+and :mod:`repro.cache.policies.arc` for the scan-resistant alternatives,
+and ``benchmarks/cache_oracle.py`` for the measured gap.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.cache.policies.base import EvictionPolicy
+
+__all__ = ["LRUPolicy"]
+
+_MISS = object()
+
+
+class LRUPolicy(EvictionPolicy):
+    """Bounded mapping with least-recently-used eviction and counters."""
+
+    name = "lru"
+
+    def __init__(self, max_entries: int = 128) -> None:
+        super().__init__(max_entries)
+        self._data: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        if key in self._data:
+            # Refresh: recency bump + value swap. Size is unchanged, so this
+            # can never push the cache over budget — no eviction.
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return
+        self._data[key] = value
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def evict(self) -> str | None:
+        if not self._data:
+            return None
+        key, _ = self._data.popitem(last=False)
+        self.evictions += 1
+        return key
+
+    def clear(self) -> int:
+        n = len(self._data)
+        self._data.clear()
+        return n

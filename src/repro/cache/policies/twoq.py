@@ -1,0 +1,127 @@
+"""2Q eviction (Johnson & Shasha, VLDB '94): scan-resistant LRU.
+
+Three queues split the capacity budget:
+
+* ``A1in`` — a small FIFO (``max_entries // 4``, at least 1) where every
+  brand-new key lands. Keys referenced only once flow through it and fall
+  out without ever touching the main cache.
+* ``A1out`` — a ghost FIFO (``max_entries // 2`` *keys*, no values)
+  remembering what recently fell out of ``A1in``. A re-reference while the
+  key is still remembered is the promotion signal.
+* ``Am`` — the main LRU, reserved for keys that earned a second reference.
+
+A sequential scan touches each key once: everything stays inside the small
+``A1in`` window and the hot set in ``Am`` survives untouched — exactly the
+failure mode that flushes a plain LRU. The price is that a genuinely new
+hot key needs two references (the second while its ghost is still in
+``A1out``) before it is protected.
+
+Resident entries are ``A1in + Am`` and never exceed ``max_entries``; the
+ghost queue stores keys only and is invisible to ``len``/``in``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.cache.policies.base import EvictionPolicy
+
+__all__ = ["TwoQPolicy"]
+
+_MISS = object()
+
+
+class TwoQPolicy(EvictionPolicy):
+    """Bounded mapping with 2Q (FIFO admission + ghost-gated LRU) eviction."""
+
+    name = "2q"
+
+    def __init__(self, max_entries: int = 128) -> None:
+        super().__init__(max_entries)
+        self.k_in = max(1, max_entries // 4)    # A1in budget (values)
+        self.k_out = max(1, max_entries // 2)   # A1out budget (ghost keys)
+        self._a1in: OrderedDict[str, Any] = OrderedDict()   # FIFO, old -> new
+        self._a1out: OrderedDict[str, None] = OrderedDict()  # ghost FIFO
+        self._am: OrderedDict[str, Any] = OrderedDict()      # LRU, cold -> hot
+        self.ghost_promotions = 0
+        self.a1in_evictions = 0
+        self.am_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._a1in or key in self._am
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._am.get(key, _MISS)
+        if value is not _MISS:
+            self._am.move_to_end(key)
+            self.hits += 1
+            return value
+        value = self._a1in.get(key, _MISS)
+        if value is not _MISS:
+            # Classic 2Q: a hit inside A1in does not reorder the FIFO —
+            # correlated references within the admission window are noise,
+            # promotion waits for the A1out ghost signal.
+            self.hits += 1
+            return value
+        self.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        if key in self._am:
+            self._am[key] = value
+            self._am.move_to_end(key)
+            return
+        if key in self._a1in:
+            self._a1in[key] = value     # refresh in place, FIFO order kept
+            return
+        if key in self._a1out:
+            # Second reference while remembered: promote straight into Am.
+            del self._a1out[key]
+            self._make_room()
+            self._am[key] = value
+            self.ghost_promotions += 1
+            return
+        self._make_room()
+        self._a1in[key] = value
+
+    def _make_room(self) -> None:
+        """Free one resident slot if the next insert would go over budget."""
+        if len(self) < self.max_entries:
+            return
+        self.evict()
+
+    def evict(self) -> str | None:
+        if len(self) == 0:
+            return None
+        if self._a1in and (len(self._a1in) > self.k_in or not self._am):
+            key, _ = self._a1in.popitem(last=False)
+            self._a1out[key] = None
+            while len(self._a1out) > self.k_out:
+                self._a1out.popitem(last=False)
+            self.a1in_evictions += 1
+        else:
+            key, _ = self._am.popitem(last=False)
+            self.am_evictions += 1
+        self.evictions += 1
+        return key
+
+    def clear(self) -> int:
+        n = len(self)
+        self._a1in.clear()
+        self._a1out.clear()
+        self._am.clear()
+        return n
+
+    def _extra_counters(self) -> dict[str, Any]:
+        return {
+            "a1in": len(self._a1in),
+            "a1out_ghosts": len(self._a1out),
+            "am": len(self._am),
+            "ghost_promotions": self.ghost_promotions,
+            "a1in_evictions": self.a1in_evictions,
+            "am_evictions": self.am_evictions,
+        }

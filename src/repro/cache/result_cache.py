@@ -25,9 +25,10 @@ import os
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.cache.capture import record_access as _record_access
 from repro.cache.disk import DiskStore
 from repro.cache.fingerprint import stable_fingerprint
-from repro.cache.memory import LRUCache
+from repro.cache.policies import make_policy, normalize_policy
 from repro.obs.metrics import default_registry as _metrics
 
 __all__ = [
@@ -55,6 +56,7 @@ class CacheStats:
     disk_hits: int
     disk_misses: int
     disk_entries: int
+    policy: str = "lru"
 
     @property
     def hits(self) -> int:
@@ -95,13 +97,18 @@ class ResultCache:
     def __init__(self, max_entries: int = 128,
                  disk_root: str | os.PathLike[str] | None = None,
                  namespace: str | None = None,
-                 disk_breaker: "Any | None" = None) -> None:
-        self.memory = LRUCache(max_entries=max_entries)
+                 disk_breaker: "Any | None" = None,
+                 policy: str = "lru") -> None:
+        self.policy = normalize_policy(policy)
+        self.memory = make_policy(self.policy, max_entries=max_entries)
         self.disk = DiskStore(disk_root) if disk_root is not None else None
         self.namespace = namespace
         self.disk_breaker = disk_breaker
         self.enabled = True
         self.events: list[str] = []
+        #: Per-namespace hit/miss breakdown, keyed by the effective namespace
+        #: label, for multi-tenant service diagnosability.
+        self.namespace_counts: dict[str, dict[str, int]] = {}
 
     def key_for(self, key_parts: Any) -> str:
         """Fingerprint of the key parts; exposed for tests and diagnostics."""
@@ -143,6 +150,7 @@ class ResultCache:
         if value is not _MISS:
             self.events.append(f"hit:memory:{kind}")
             _metrics().counter("cache.memory.hits").inc()
+            self._account(key, kind, hit=True, layer="memory")
             return value
         if self._disk_allowed(kind):
             errs = self.disk.io_errors
@@ -153,9 +161,11 @@ class ResultCache:
                 _metrics().counter("cache.disk.hits").inc()
                 self.memory.put(key, value)
                 self._note_evictions(before)
+                self._account(key, kind, hit=True, layer="disk")
                 return value
         self.events.append(f"miss:{kind}")
         _metrics().counter("cache.misses").inc()
+        self._account(key, kind, hit=False, layer=None)
         value = compute()
         self.memory.put(key, value)
         if self._disk_allowed(kind):
@@ -164,6 +174,13 @@ class ResultCache:
             self._disk_probe_done(errs)
         self._note_evictions(before)
         return value
+
+    def _account(self, key: str, kind: str, hit: bool, layer: str | None) -> None:
+        """Per-namespace breakdown + optional access-trace capture."""
+        ns = self.namespace if self.namespace is not None else "(default)"
+        counts = self.namespace_counts.setdefault(ns, {"hits": 0, "misses": 0})
+        counts["hits" if hit else "misses"] += 1
+        _record_access(key, self.namespace, kind, hit, layer)
 
     def _note_evictions(self, before: int) -> None:
         n_evicted = self.memory.evictions - before
@@ -181,7 +198,12 @@ class ResultCache:
             disk_hits=self.disk.hits if self.disk is not None else 0,
             disk_misses=self.disk.misses if self.disk is not None else 0,
             disk_entries=len(self.disk) if self.disk is not None else 0,
+            policy=self.policy,
         )
+
+    def stats_by_namespace(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counts per effective namespace (insertion-ordered copy)."""
+        return {ns: dict(c) for ns, c in self.namespace_counts.items()}
 
     def clear(self) -> dict[str, int]:
         """Drop all entries in both layers; returns per-layer drop counts."""
@@ -198,29 +220,39 @@ _DEFAULT: ResultCache | None = None
 def default_cache() -> ResultCache:
     """The process-wide cache instance (created lazily on first use).
 
-    Honours the ``REPRO_CACHE_DIR`` environment variable at creation time:
-    when set and non-empty, results are also persisted under that directory
-    so later *processes* (a resumed run, the next CLI invocation) reuse them.
+    Honours two environment variables at creation time: ``REPRO_CACHE_DIR``
+    (when set and non-empty, results are also persisted under that directory
+    so later *processes* — a resumed run, the next CLI invocation — reuse
+    them) and ``REPRO_CACHE_POLICY`` (memory-tier eviction policy:
+    ``lru``/``lfu``/``2q``/``arc``; default ``lru``).
     """
     global _DEFAULT
     if _DEFAULT is None:
         disk_root = os.environ.get("REPRO_CACHE_DIR") or None
-        _DEFAULT = ResultCache(max_entries=128, disk_root=disk_root)
+        policy = os.environ.get("REPRO_CACHE_POLICY") or "lru"
+        _DEFAULT = ResultCache(max_entries=128, disk_root=disk_root,
+                               policy=policy)
     return _DEFAULT
 
 
 def configure(max_entries: int = 128,
               disk_root: str | os.PathLike[str] | None = None,
               namespace: str | None = None,
-              disk_breaker: "Any | None" = None) -> ResultCache:
+              disk_breaker: "Any | None" = None,
+              policy: str | None = None) -> ResultCache:
     """Replace the process-wide cache with one using the given settings.
 
     Service workers use ``namespace`` + ``disk_breaker`` to point every
     tenant at one shared, breaker-guarded disk tier under the spool.
+    ``policy`` selects the memory tier's eviction policy; ``None`` falls
+    back to ``REPRO_CACHE_POLICY`` and then to ``lru``.
     """
     global _DEFAULT
+    if policy is None:
+        policy = os.environ.get("REPRO_CACHE_POLICY") or "lru"
     _DEFAULT = ResultCache(max_entries=max_entries, disk_root=disk_root,
-                           namespace=namespace, disk_breaker=disk_breaker)
+                           namespace=namespace, disk_breaker=disk_breaker,
+                           policy=policy)
     return _DEFAULT
 
 
@@ -254,7 +286,10 @@ def cache_snapshot() -> dict[str, Any]:
     store = default_cache()
     snap: dict[str, Any] = {
         "enabled": is_enabled(),
+        "policy": store.policy,
         "result_cache": store.stats().as_dict(),
+        "by_namespace": store.stats_by_namespace(),
+        "policy_counters": store.memory.counters(),
     }
     from repro.ml.preprocess import raw_matrix_cache  # local: avoids a cycle
 

@@ -58,8 +58,11 @@ Result caching
 ``sweep``, ``sampled-dse``, and ``chronological`` reuse expensive artifacts
 (full-space cycle sweeps, encoded design matrices) through
 :mod:`repro.cache`. ``--cache-dir PATH`` (or ``REPRO_CACHE_DIR``) persists
-them across invocations; ``--no-cache`` recomputes everything, for
-reproducibility audits.
+them across invocations; ``--cache-policy {lru,lfu,2q,arc}`` (or
+``REPRO_CACHE_POLICY``) selects the memory tier's eviction policy;
+``--cache-trace PATH`` records every probe to a replayable JSONL access
+trace (schema ``repro-cachetrace/1``) for ``benchmarks/cache_oracle.py``;
+``--no-cache`` recomputes everything, for reproducibility audits.
 
 Fault tolerance
 ---------------
@@ -155,6 +158,15 @@ def _add_cache(p: argparse.ArgumentParser) -> None:
     g.add_argument("--cache-dir", default=None, metavar="PATH",
                    help="persist cached results under PATH (also read from "
                         "the REPRO_CACHE_DIR environment variable)")
+    g.add_argument("--cache-policy", default=None,
+                   choices=["lru", "lfu", "2q", "arc"],
+                   help="memory-tier eviction policy (also read from the "
+                        "REPRO_CACHE_POLICY environment variable; default lru)")
+    g.add_argument("--cache-trace", default=None, metavar="PATH",
+                   help="append every cache probe (key fingerprint, "
+                        "namespace, hit/miss, timestamp) to PATH as JSONL "
+                        "(schema repro-cachetrace/1) for offline replay "
+                        "through benchmarks/cache_oracle.py")
 
 
 def _add_robust(p: argparse.ArgumentParser) -> None:
@@ -333,6 +345,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "stays empty this long (lets the first submit land)")
     p.add_argument("--max-runtime", type=float, default=None, metavar="SEC",
                    help="drain and exit after this long")
+    p.add_argument("--cache-policy", default=None,
+                   choices=["lru", "lfu", "2q", "arc"],
+                   help="eviction policy every worker shard's result cache "
+                        "runs (also read from REPRO_CACHE_POLICY; default "
+                        "lru)")
     # Chaos harness for supervision drills; hidden like the sweep one.
     p.add_argument("--chaos-sigkill-at", type=int, default=None,
                    help=argparse.SUPPRESS)
@@ -477,12 +494,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache import ResultCache, cache_snapshot
 
     disk_root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or None
-    store = ResultCache(disk_root=disk_root)
+    policy = os.environ.get("REPRO_CACHE_POLICY") or "lru"
+    store = ResultCache(disk_root=disk_root, policy=policy)
     where = str(disk_root) if disk_root else "(memory only; set REPRO_CACHE_DIR)"
     if args.cache_command == "stats":
         stats = store.stats()
         print(format_kv(
             {
+                "policy": stats.policy,
                 "disk entries": stats.disk_entries,
                 "disk bytes": store.disk.size_bytes() if store.disk else 0,
             },
@@ -499,6 +518,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
              if not k.startswith("disk_")},
             title="this process (result_cache counters)",
         ))
+        if snap["by_namespace"]:
+            print()
+            rows = {f"{ns} hits/misses": f"{c['hits']}/{c['misses']}"
+                    for ns, c in snap["by_namespace"].items()}
+            print(format_kv(rows, title="this process (per-namespace probes)"))
         print()
         print(format_kv(snap["encoder_matrix_cache"],
                         title="this process (encoder_matrix_cache counters)"))
@@ -541,6 +565,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_runtime=args.max_runtime,
         seed=args.seed,
         injector=injector,
+        cache_policy=args.cache_policy,
     )
     sup = WorkerSupervisor(config)
     print(f"repro serve: {args.workers} worker(s) on spool {args.spool} "
@@ -598,6 +623,17 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         raise ReproError(f"no such trace file: {trace_path}")
     print(summarize_file(trace_path))
     return 0
+
+
+def _setup_cache_capture(args: argparse.Namespace) -> bool:
+    """Install the cache access-trace recorder when ``--cache-trace`` asks."""
+    trace_path = getattr(args, "cache_trace", None)
+    if not trace_path:
+        return False
+    from repro.cache import configure_capture
+
+    configure_capture(trace_path)
+    return True
 
 
 def _setup_observability(args: argparse.Namespace) -> bool:
@@ -670,10 +706,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.cache import set_enabled
 
         set_enabled(False)
-    if args.command != "cache" and getattr(args, "cache_dir", None):
+    cache_dir = getattr(args, "cache_dir", None)
+    cache_policy = getattr(args, "cache_policy", None)
+    if args.command != "cache" and (cache_dir or cache_policy):
+        import os
+
         from repro.cache import configure
 
-        configure(disk_root=args.cache_dir)
+        configure(disk_root=cache_dir or os.environ.get("REPRO_CACHE_DIR")
+                  or None, policy=cache_policy)
+    captured = _setup_cache_capture(args)
     observed = _setup_observability(args)
     try:
         return _COMMANDS[args.command](args)
@@ -692,6 +734,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 141
     finally:
+        if captured:
+            from repro.cache import shutdown_capture
+
+            n = shutdown_capture()
+            if n:
+                print(f"repro: cache trace: {n} access record(s) -> "
+                      f"{args.cache_trace}", file=sys.stderr)
         if observed:
             _finalize_observability(args)
 

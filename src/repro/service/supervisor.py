@@ -69,6 +69,9 @@ class ServiceConfig:
     max_runtime: float | None = None
     #: Chaos harness handed to the *initial* worker generation only.
     injector: FaultInjector | None = None
+    #: Eviction policy every worker shard's result cache runs
+    #: (lru/lfu/2q/arc); None falls back to REPRO_CACHE_POLICY, then lru.
+    cache_policy: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -123,6 +126,7 @@ class WorkerSupervisor:
             seed=stream_seed(self.config.seed, "svc-worker", slot.index),
             poll_interval=self.config.poll_interval,
             injector=injector,
+            cache_policy=self.config.cache_policy,
         )
 
     def _spawn(self, slot: _Slot) -> None:

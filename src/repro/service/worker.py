@@ -92,6 +92,9 @@ class WorkerConfig:
     #: Trips the shared disk cache tier after this many consecutive I/O errors.
     disk_breaker_threshold: int = 3
     disk_breaker_reset: float = 5.0
+    #: Memory-tier eviction policy for the shard's result cache
+    #: (lru/lfu/2q/arc); None falls back to REPRO_CACHE_POLICY, then lru.
+    cache_policy: str | None = None
 
 
 class _GuardedLadder:
@@ -171,15 +174,27 @@ class Worker:
 
         Namespaced per spool schema so service entries never collide with a
         user's own ``REPRO_CACHE_DIR``; breaker-guarded so a sick disk
-        degrades the tier to memory-only instead of stalling every job.
+        degrades the tier to memory-only instead of stalling every job. The
+        shard inherits the service's configured eviction policy (config
+        field, else ``REPRO_CACHE_POLICY``), and when ``REPRO_CACHE_TRACE``
+        names a path it records its cache probes to
+        ``<path>.<shard-name>`` — one capture file per shard, no
+        interleaved writers — flushed at shard exit for offline replay.
         """
+        import os
+
+        from repro.cache.capture import configure_capture
         from repro.cache.result_cache import configure
         from repro.service.spool import SPOOL_SCHEMA
 
         configure(max_entries=128,
                   disk_root=Path(self.config.root) / "cache",
                   namespace=SPOOL_SCHEMA,
-                  disk_breaker=self.disk_breaker)
+                  disk_breaker=self.disk_breaker,
+                  policy=self.config.cache_policy)
+        trace_root = os.environ.get("REPRO_CACHE_TRACE")
+        if trace_root:
+            configure_capture(f"{trace_root}.{self.config.name}")
 
     # -- job execution -------------------------------------------------------
 
@@ -351,6 +366,10 @@ class Worker:
     def _export_metrics(self) -> None:
         """Persist this shard's metrics so the service can aggregate them."""
         import json
+
+        from repro.cache.capture import shutdown_capture
+
+        shutdown_capture()  # flush any per-shard access trace
 
         out_dir = self.spool.root / "metrics"
         try:

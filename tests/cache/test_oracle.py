@@ -1,0 +1,160 @@
+"""Tests for the Belady/OPT oracle benchmark and its synthetic traces.
+
+``benchmarks/`` is not a package; the oracle and trace-generator modules
+are imported by path, the same way the benchmark script itself runs.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from cache_oracle import (  # noqa: E402
+    PINNED,
+    belady_hit_rate,
+    evaluate_trace,
+    replay_policy,
+    run_checks,
+)
+from cache_traces import WORKLOADS, TraceGenerator  # noqa: E402
+
+from repro.cache import POLICIES  # noqa: E402
+
+
+# -- trace generator ---------------------------------------------------------
+
+
+def test_generator_is_deterministic_per_seed():
+    a = TraceGenerator(seed=7).all_traces()
+    b = TraceGenerator(seed=7).all_traces()
+    c = TraceGenerator(seed=8).all_traces()
+    assert set(a) == set(WORKLOADS)
+    for name in WORKLOADS:
+        assert a[name].keys == b[name].keys
+        assert a[name].keys != c[name].keys
+
+
+def test_generator_workload_shapes():
+    traces = TraceGenerator(seed=0).all_traces()
+    for name, trace in traces.items():
+        assert trace.n_requests == 20000
+        assert trace.n_distinct > 0
+        assert all(k.startswith("k") for k in trace.keys[:100])
+    # phase-shift really shifts: first and last phases share no hot keys
+    ps = traces["phase_shift"].keys
+    first, last = set(ps[:2500]), set(ps[-2500:])
+    hot_first = {k for k in first if int(k[1:]) < 10_000}
+    hot_last = {k for k in last if int(k[1:]) < 10_000}
+    assert not (hot_first & hot_last)
+    # oscillating alternates between two disjoint working sets
+    osc = traces["oscillating"].keys
+    assert set(osc[:2000]).isdisjoint(set(osc[2000:4000]))
+
+
+# -- Belady oracle -----------------------------------------------------------
+
+
+def test_belady_exact_on_tiny_trace():
+    # capacity 2, trace a b c a b: OPT evicts c (never reused) -> 2 hits
+    assert belady_hit_rate(list("abcab"), 2) == pytest.approx(2 / 5)
+
+
+def test_belady_perfect_when_everything_fits():
+    keys = list("abcabcabc")
+    assert belady_hit_rate(keys, 3) == pytest.approx(6 / 9)  # only cold misses
+
+
+def test_belady_capacity_one():
+    assert belady_hit_rate(list("aabbc"), 1) == pytest.approx(2 / 5)
+
+
+def test_belady_rejects_bad_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        belady_hit_rate(list("ab"), 0)
+
+
+def test_belady_dominates_every_policy_on_random_trace():
+    import random
+
+    rng = random.Random(42)
+    keys = [f"k{rng.randrange(60)}" for _ in range(3000)]
+    for capacity in (4, 10, 25):
+        oracle = belady_hit_rate(keys, capacity)
+        for policy in POLICIES:
+            rate = replay_policy(policy, keys, capacity)["hit_rate"]
+            assert rate <= oracle + 1e-9, \
+                f"{policy}@{capacity} beat the oracle: {rate} > {oracle}"
+
+
+def test_belady_beats_lru_on_adversarial_loop():
+    # cyclic scan of N+1 keys through capacity N: LRU gets zero hits,
+    # OPT keeps N-1 of them resident
+    keys = [f"k{i % 5}" for i in range(500)]
+    assert replay_policy("lru", keys, 4)["hit_rate"] == 0.0
+    assert belady_hit_rate(keys, 4) > 0.7
+
+
+# -- replay + checks ---------------------------------------------------------
+
+
+def test_replay_policy_counters_match_trace():
+    keys = ["a", "b", "a", "c", "a"]
+    counters = replay_policy("lru", keys, 10)
+    assert counters["hits"] == 2 and counters["misses"] == 3
+    assert counters["hit_rate"] == pytest.approx(2 / 5)
+
+
+def test_evaluate_trace_curves_cover_policies_and_oracle():
+    keys = [f"k{i % 30}" for i in range(600)]
+    entry = evaluate_trace("loop", keys, fractions=(0.2, 0.5))
+    assert entry["n_distinct"] == 30
+    assert len(entry["curves"]) == 2
+    for curve in entry["curves"]:
+        assert set(curve["hit_rate"]) == set(POLICIES) | {"oracle"}
+        for policy in POLICIES:
+            assert curve["hit_rate"][policy] <= \
+                curve["hit_rate"]["oracle"] + 1e-9
+
+
+def test_pinned_workloads_match_generated_names():
+    assert set(PINNED) == set(WORKLOADS)
+    for pins in PINNED.values():
+        assert set(pins) == set(POLICIES) | {"oracle"}
+
+
+def test_run_checks_flags_regression_and_oracle_violation():
+    # a synthetic workloads dict where LRU "beats" the oracle
+    entry = {
+        "name": "scan",
+        "n_requests": 10,
+        "n_distinct": 5,
+        "curves": [{
+            "capacity": 4, "capacity_fraction": 0.1,
+            "hit_rate": {"lru": 0.9, "lfu": 0.1, "2q": 0.1, "arc": 0.1,
+                         "oracle": 0.5},
+        }],
+    }
+    failures, _ = run_checks({"scan": entry})
+    assert any("replay bug" in f for f in failures)
+    assert any("pin regression" in f for f in failures)
+
+
+def test_run_checks_flags_lru_unbeaten():
+    entry = {
+        "name": "scan",
+        "n_requests": 10,
+        "n_distinct": 5,
+        "curves": [{
+            "capacity": 4, "capacity_fraction": 0.1,
+            "hit_rate": {"lru": 0.99, "lfu": 0.99, "2q": 0.99, "arc": 0.99,
+                         "oracle": 0.99},
+        }],
+    }
+    failures, _ = run_checks({"scan": entry})
+    assert any("no shipped policy beat LRU" in f for f in failures)

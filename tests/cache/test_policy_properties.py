@@ -1,0 +1,133 @@
+"""Property-based tests for the invariants every eviction policy shares.
+
+One seeded random workload generator drives all four policies through
+the same mixed get/put/evict/clear operation streams, checking after
+every step the contract :class:`repro.cache.EvictionPolicy` promises:
+
+* residency never exceeds ``max_entries``;
+* a key just ``put`` is immediately gettable with its exact value;
+* an evicted key is really gone (``get`` misses, ``in`` is False);
+* hits + misses equals the number of ``get`` calls, and evictions
+  equals insertions minus residents (clears accounted separately).
+
+Runs under hypothesis when installed; falls back to a fixed
+seeded-random sweep otherwise, so the properties stay tested in minimal
+environments.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache import POLICIES, make_policy
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    def seeds(n_examples: int = 30, max_seed: int = 10**6):
+        """Feed the test a shrinkable integer seed via hypothesis."""
+
+        def deco(fn):
+            return settings(max_examples=n_examples, deadline=None)(
+                given(st.integers(0, max_seed))(fn)
+            )
+
+        return deco
+
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+
+    def seeds(n_examples: int = 30, max_seed: int = 10**6):
+        """Fallback: a fixed, seeded sweep of random example seeds."""
+        picker = random.Random(20260808)
+        chosen = [picker.randrange(max_seed + 1) for _ in range(n_examples)]
+
+        def deco(fn):
+            return pytest.mark.parametrize("seed", chosen)(fn)
+
+        return deco
+
+
+ALL_POLICIES = sorted(POLICIES)
+
+
+def _run_workload(policy_name: str, seed: int, n_ops: int = 400) -> None:
+    rng = random.Random(seed)
+    capacity = rng.randint(1, 12)
+    policy = make_policy(policy_name, capacity)
+    n_keys = rng.randint(1, 30)
+    keys = [f"k{i}" for i in range(n_keys)]
+
+    contents: dict[str, int] = {}   # mirror of what must be resident
+    n_gets = 0
+    n_insertions = 0
+    n_cleared = 0
+
+    for step in range(n_ops):
+        op = rng.random()
+        key = rng.choice(keys)
+        if op < 0.45:
+            n_gets += 1
+            got = policy.get(key)
+            if key in contents:
+                assert got == contents[key], \
+                    f"{policy_name}: resident {key} returned {got!r}"
+        elif op < 0.85:
+            value = step
+            was_resident = key in policy
+            policy.put(key, value)
+            if not was_resident:
+                n_insertions += 1
+            contents[key] = value
+            assert key in policy, f"{policy_name}: just-put {key} not resident"
+            n_gets += 1
+            assert policy.get(key) == value
+        elif op < 0.95:
+            victim = policy.evict()
+            if victim is not None:
+                assert victim not in policy
+                contents.pop(victim, None)
+        else:
+            n_cleared += policy.clear()
+            contents.clear()
+            assert len(policy) == 0
+
+        # residency bound + mirror consistency, every single step
+        assert len(policy) <= capacity
+        evicted = [k for k in list(contents) if k not in policy]
+        for k in evicted:       # the policy chose these victims; mirror it
+            del contents[k]
+        assert len(contents) == len(policy), \
+            f"{policy_name}: mirror {len(contents)} != resident {len(policy)}"
+
+    counters = policy.counters()
+    assert counters["hits"] + counters["misses"] == n_gets
+    assert counters["evictions"] == n_insertions - len(policy) - n_cleared
+    assert counters["entries"] == len(policy)
+    # every mirrored key must still serve its exact last value
+    n = len(policy)
+    for k, v in contents.items():
+        assert policy.get(k) == v
+    assert len(policy) == n     # reads never change residency
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+@seeds()
+def test_policy_invariants_under_random_workload(name, seed):
+    _run_workload(name, seed)
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+@seeds(n_examples=10)
+def test_capacity_one_degenerate_cache(name, seed):
+    """Every policy must behave at the smallest legal capacity."""
+    rng = random.Random(seed)
+    policy = make_policy(name, 1)
+    last = None
+    for step in range(100):
+        key = f"k{rng.randrange(5)}"
+        policy.put(key, step)
+        last = (key, step)
+        assert len(policy) == 1
+        assert policy.get(last[0]) == last[1]

@@ -90,6 +90,68 @@ class TestCommands:
         assert "sensitivity importance" in out
 
 
+class TestCacheCLI:
+    """--cache-policy / --cache-trace flags and the cache stats view."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_default_cache(self):
+        from repro.cache import reset_default_cache, shutdown_capture
+
+        yield
+        shutdown_capture()
+        reset_default_cache()
+
+    def test_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "mcf", "--cache-policy", "arc",
+             "--cache-trace", "t.jsonl"])
+        assert args.cache_policy == "arc" and args.cache_trace == "t.jsonl"
+
+    def test_unknown_cache_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "mcf", "--cache-policy", "fifo"])
+
+    def test_serve_parser_accepts_cache_policy(self):
+        args = build_parser().parse_args(
+            ["serve", "--spool", "s", "--cache-policy", "2q"])
+        assert args.cache_policy == "2q"
+        assert build_parser().parse_args(
+            ["serve", "--spool", "s"]).cache_policy is None
+
+    def test_cache_stats_reports_policy(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_POLICY", "lfu")
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "policy" in out and "lfu" in out
+
+    def test_sweep_with_policy_selects_default_cache(self, capsys):
+        from repro.cache import default_cache
+
+        assert main(["sweep", "applu", "--cache-policy", "lfu"]) == 0
+        assert default_cache().policy == "lfu"
+        assert "4608 configurations" in capsys.readouterr().out
+
+    def test_sweep_cache_trace_writes_capture(self, tmp_path, capsys):
+        from repro.cache import read_cache_trace
+
+        trace = tmp_path / "trace.jsonl"
+        assert main(["sweep", "applu", "--cache-trace", str(trace)]) == 0
+        records = list(read_cache_trace(trace))
+        assert records and all(r["kind"] == "sweep-cycles" for r in records)
+        err = capsys.readouterr().err
+        assert "cache trace" in err and str(trace) in err
+
+    def test_stats_shows_namespace_breakdown_after_probes(self, capsys):
+        from repro.cache import default_cache
+
+        default_cache().get_or_compute(("k",), lambda: 1)
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "per-namespace probes" in out
+        assert "(default) hits/misses" in out
+
+
 class TestFaultTolerance:
     """The resilience flags and the exit-code / stderr contract."""
 
