@@ -21,8 +21,18 @@ spool directory), the way CI drives it:
    outside (pid read from its heartbeat file, as an operator would), and a
    job submitted with an already-impossible deadline must fail with the
    :class:`~repro.errors.JobDeadlineExceeded` exit code (14).
+6. **Observability plane** — the same chaos drill runs twice more on fresh
+   spools, once plain and once with ``--obs --status-file``. The traced run
+   must produce a merged timeline (``repro obs aggregate``) in which every
+   job's spans share its single trace id across submit/lease/execute/retry
+   and every record validates against ``repro-trace/1``; ``repro obs
+   report`` must print non-empty p50/p95/p99 for all four SLO histograms;
+   both runs must stay bit-identical to the serial oracle; and the traced
+   run may not cost more than 5% extra wall-clock (with a small absolute
+   floor so scheduler noise on a ~seconds-long drill cannot flake CI).
 
-Artifacts (spool event log, job listing, drill report JSON) are copied to
+Artifacts (spool event log, job listing, merged timeline, obs report,
+final status snapshot, drill report JSON) are copied to
 ``benchmarks/results/`` for CI upload.
 
 Run::
@@ -59,6 +69,166 @@ def _fail(msg: str) -> None:
 def _cli(*argv: str, env: dict | None = None) -> subprocess.CompletedProcess:
     return subprocess.run([sys.executable, "-m", "repro", *argv],
                           capture_output=True, text=True, env=env)
+
+
+#: Traced-run overhead gate: fail beyond 5% — but only past an absolute
+#: floor, so a ~20s drill cannot flake on a second of scheduler noise.
+OVERHEAD_PCT = 5.0
+OVERHEAD_FLOOR_S = 1.0
+
+OBS_APPS = ("gcc", "mcf")
+
+
+def _run_chaos_serve(spool_dir: Path, *extra: str) -> float:
+    """Submit OBS_APPS jobs and drain them under chaos; returns wall-clock."""
+    for app in OBS_APPS:
+        p = _cli("submit", "--spool", str(spool_dir), "sweep", app,
+                 "--stop", str(SLICE_STOP), "--n-instructions", str(N_INSTR))
+        if p.returncode != 0:
+            _fail(f"obs drill submit {app} rc={p.returncode}: {p.stderr}")
+    t0 = time.monotonic()
+    p = _cli("serve", "--spool", str(spool_dir), "--workers", "2",
+             "--lease-ttl", "2", "--heartbeat-timeout", "5",
+             "--drain-on-idle", "--max-runtime", "120",
+             "--chaos-sigkill-at", "30", "--seed", str(SEED), *extra)
+    elapsed = time.monotonic() - t0
+    if p.returncode != 0:
+        _fail(f"obs drill serve rc={p.returncode}: {p.stderr}")
+    return elapsed
+
+
+def obs_drill(workdir: Path, out_dir: Path, report: dict) -> None:
+    """Step 6: the traced-vs-untraced chaos drill (see module docstring)."""
+    from repro.obs import validate_record
+    from repro.service import JobSpool
+    from repro.simulator import (
+        enumerate_design_space,
+        get_profile,
+        sweep_design_space,
+    )
+
+    plain_dir = workdir / "obs-plain"
+    traced_dir = workdir / "obs-traced"
+    status_file = workdir / "status.json"
+    plain_s = _run_chaos_serve(plain_dir)
+    traced_s = _run_chaos_serve(
+        traced_dir, "--obs", "--status-file", str(status_file),
+        "--status-interval", "0.5")
+    print(f"service_drill: obs drill untraced {plain_s:.2f}s, "
+          f"traced {traced_s:.2f}s")
+    report["obs_untraced_seconds"] = round(plain_s, 2)
+    report["obs_traced_seconds"] = round(traced_s, 2)
+    overhead = traced_s - plain_s
+    pct = 100.0 * overhead / plain_s if plain_s > 0 else 0.0
+    report["obs_overhead_pct"] = round(pct, 2)
+    if pct > OVERHEAD_PCT and overhead > OVERHEAD_FLOOR_S:
+        _fail(f"tracing overhead {pct:.1f}% ({overhead:.2f}s) exceeds "
+              f"{OVERHEAD_PCT:g}% — the plane is not cheap enough")
+
+    # Both runs bit-identical to the serial oracle (and thus each other):
+    # observability must never change results.
+    configs = list(enumerate_design_space())[0:SLICE_STOP]
+    for spool_dir, label in ((plain_dir, "untraced"), (traced_dir, "traced")):
+        spool = JobSpool.open(spool_dir)
+        views = spool.jobs()
+        for app in OBS_APPS:
+            oracle = np.asarray(sweep_design_space(
+                configs, get_profile(app), n_instructions=N_INSTR))
+            jid = next(j for j, v in views.items() if v.spec.app == app)
+            if views[jid].state != "done":
+                _fail(f"obs drill ({label}): {app} not done "
+                      f"({views[jid].state})")
+            if not np.array_equal(oracle, spool.result(jid)["cycles"]):
+                _fail(f"obs drill ({label}): {app} diverged from the serial "
+                      "oracle")
+    print("service_drill: traced and untraced runs bit-identical to the "
+          "oracle")
+    report["obs_bit_identical"] = True
+
+    # The kill drill must actually have exercised re-dispatch in the traced
+    # run, or the trace-correlation assertions below prove nothing.
+    traced_spool = JobSpool.open(traced_dir)
+    traced_views = traced_spool.jobs()
+    if sum(v.n_expired for v in traced_views.values()) < 1:
+        _fail("obs drill: no lease re-dispatched in the traced run")
+
+    # Merge the timeline through the CLI and validate every record.
+    timeline_path = out_dir / "BENCH_service_timeline.jsonl"
+    p = _cli("obs", "aggregate", "--spool", str(traced_dir),
+             "--out", str(timeline_path))
+    if p.returncode != 0:
+        _fail(f"obs aggregate rc={p.returncode}: {p.stderr}")
+    print(p.stdout, end="")
+    records = [json.loads(line)
+               for line in timeline_path.read_text().splitlines()]
+    for rec in records:
+        try:
+            validate_record(rec)
+        except ValueError as exc:
+            _fail(f"merged timeline record invalid: {exc}")
+
+    # Cross-process correlation: every job's records — queue events from
+    # the submitting/serving processes AND execute spans from every worker
+    # generation that touched it — share the job's single trace id.
+    for jid, view in traced_views.items():
+        mine = [r for r in records if r.get("trace_id") == jid]
+        names = {r["name"] for r in mine}
+        for required in ("spool.submit", "spool.lease", "job.execute",
+                         "spool.done"):
+            if required not in names:
+                _fail(f"obs drill: trace {jid[:12]} is missing {required!r} "
+                      f"(has {sorted(names)})")
+        shards = {r["shard"] for r in mine if r["kind"] == "span"}
+        # A SIGKILLed attempt never finishes its execute span (the record is
+        # written at span exit), but its claim annotation is flushed up
+        # front — so a re-dispatched job must show one claim per attempt,
+        # all under the original trace id, plus the resumed attempt's
+        # completed execute span.
+        if view.n_expired > 0:
+            claims = [r for r in mine if r["name"] == "job.claim"]
+            if len(claims) < 2:
+                _fail(f"obs drill: re-dispatched job {jid[:12]} has fewer "
+                      "than 2 claim events — the resumed attempt did not "
+                      "adopt the original trace id")
+            if not [r for r in mine if r["name"] == "job.execute"]:
+                _fail(f"obs drill: re-dispatched job {jid[:12]} has no "
+                      "completed execute span")
+        print(f"service_drill: trace {jid[:12]}: {len(mine)} record(s), "
+              f"worker span(s) from {sorted(shards)}")
+    stray = {r.get("trace_id") for r in records
+             if r["name"] == "job.execute"} - set(traced_views)
+    if stray:
+        _fail(f"obs drill: execute spans with unknown trace ids: {stray}")
+    report["obs_n_timeline_records"] = len(records)
+
+    # SLO report: non-empty percentiles for all four histograms.
+    p = _cli("obs", "report", "--spool", str(traced_dir))
+    if p.returncode != 0:
+        _fail(f"obs report rc={p.returncode}: {p.stderr}")
+    (out_dir / "BENCH_service_obs_report.txt").write_text(p.stdout)
+    for metric in ("queue_wait", "lease_to_start", "execute", "e2e"):
+        row = next((ln for ln in p.stdout.splitlines()
+                    if f" {metric} " in f" {ln} "), None)
+        if row is None or " 0 " in f" {row} ":
+            _fail(f"obs report: SLO histogram {metric!r} is empty or "
+                  f"missing:\n{p.stdout}")
+    print("service_drill: obs report has non-empty p50/p95/p99 for all "
+          "four SLO histograms")
+
+    # Status file: the final snapshot must be valid repro-status/1 showing
+    # the drained service.
+    try:
+        status = json.loads(status_file.read_text())
+    except (OSError, ValueError) as exc:
+        _fail(f"status file unreadable: {exc}")
+    if status.get("schema") != "repro-status/1" or not status.get("draining"):
+        _fail(f"status file wrong shape: {status.get('schema')!r}, "
+              f"draining={status.get('draining')!r}")
+    if status["queue"]["done"] != len(OBS_APPS):
+        _fail(f"status file queue counts wrong: {status['queue']}")
+    shutil.copy(status_file, out_dir / "BENCH_service_status.json")
+    report["obs_status_ok"] = True
+    print("service_drill: status file shows the drained service")
 
 
 def main() -> int:
@@ -195,6 +365,9 @@ def main() -> int:
         _fail(f"SIGTERM drain: serve rc={rc}")
     report["sigterm_drain_exit"] = rc
     print("service_drill: SIGTERM drained the daemon cleanly")
+
+    # 6. Observability plane: traced-vs-untraced chaos drill.
+    obs_drill(workdir, out_dir, report)
 
     # Artifacts.
     shutil.copy(spool_dir / "spool.jsonl", out_dir / "BENCH_service_spool.jsonl")

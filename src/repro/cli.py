@@ -18,18 +18,28 @@ Subcommands
     Inspect (``stats``) or empty (``clear``) the persistent result cache.
 ``obs``
     Observability utilities: ``repro obs summarize trace.jsonl`` renders a
-    per-phase time/error breakdown of a recorded trace.
+    per-phase time/error breakdown of a recorded trace; ``repro obs
+    aggregate --spool DIR`` merges a service's per-shard trace files and
+    spool events into one causally-ordered timeline (plus summed shard
+    metrics); ``repro obs report --spool DIR`` prints the p50/p95/p99 SLO
+    table (queue-wait, lease-to-start, execute, end-to-end per job kind).
 ``doctor``
     Environment self-check: Python/numpy versions, cache-dir writability,
     shared-memory availability, seed reproducibility, service spool health
     (writability + flock, fd headroom, multiprocessing start method, stale
-    leases). Exits nonzero when any check fails.
+    leases), and the observability plane (status-file writability, shard
+    metrics snapshot freshness vs. heartbeats, spool-vs-span clock skew).
+    Exits nonzero when any check fails.
 ``serve`` / ``submit`` / ``jobs``
     The fault-tolerant job service (:mod:`repro.service`): ``serve`` runs
     N supervised worker shards against a durable spool directory,
     ``submit`` enqueues sweep/fit jobs (optionally blocking on the result
     with ``--wait``), ``jobs`` lists the queue. Clients and daemon
-    coordinate purely through the spool directory.
+    coordinate purely through the spool directory. ``serve --obs`` turns on
+    the service observability plane (per-shard trace files correlated by a
+    per-job trace id); ``serve --status-file PATH`` keeps a live JSON
+    health snapshot (shard liveness, queue depth, breaker states, SLO
+    percentiles) refreshed from the supervision loop.
 
 Robustness
 ----------
@@ -311,6 +321,24 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="render a per-phase time/error breakdown of a trace")
     sp.add_argument("trace", metavar="TRACE.JSONL",
                     help="trace file recorded with --trace-file")
+    sp = obs_sub.add_parser(
+        "aggregate",
+        help="merge a service spool's per-shard traces and queue events "
+             "into one causally-ordered timeline; sum shard metrics")
+    sp.add_argument("--spool", required=True, metavar="DIR",
+                    help="service spool directory (the serve --spool value)")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="write the merged timeline (JSONL, repro-trace/1) "
+                         "to PATH")
+    sp.add_argument("--metrics-out", default=None, metavar="PATH",
+                    help="write the aggregated shard metrics (JSON, "
+                         "repro-metrics-agg/1) to PATH")
+    sp = obs_sub.add_parser(
+        "report",
+        help="print the service SLO table: p50/p95/p99 queue-wait, "
+             "lease-to-start, execute, and end-to-end latency per job kind")
+    sp.add_argument("--spool", required=True, metavar="DIR",
+                    help="service spool directory (the serve --spool value)")
 
     sub.add_parser(
         "doctor",
@@ -350,6 +378,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="eviction policy every worker shard's result cache "
                         "runs (also read from REPRO_CACHE_POLICY; default "
                         "lru)")
+    p.add_argument("--obs", action="store_true",
+                   help="observability plane: every worker shard writes a "
+                        "repro-trace/1 file with one trace id per job "
+                        "(merge with 'repro obs aggregate'); off by "
+                        "default, results are bit-identical either way")
+    p.add_argument("--status-file", default=None, metavar="PATH",
+                   help="keep a live JSON health snapshot (repro-status/1: "
+                        "shard liveness, queue depth, breaker states, SLO "
+                        "percentiles) at PATH, replaced atomically")
+    p.add_argument("--status-interval", type=float, default=2.0,
+                   metavar="SEC",
+                   help="status-file refresh cadence (default 2s)")
     # Chaos harness for supervision drills; hidden like the sweep one.
     p.add_argument("--chaos-sigkill-at", type=int, default=None,
                    help=argparse.SUPPRESS)
@@ -566,6 +606,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         injector=injector,
         cache_policy=args.cache_policy,
+        obs=args.obs,
+        status_file=args.status_file,
+        status_interval=args.status_interval,
     )
     sup = WorkerSupervisor(config)
     print(f"repro serve: {args.workers} worker(s) on spool {args.spool} "
@@ -616,12 +659,56 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.obs import summarize_file
+    if args.obs_command == "summarize":
+        from repro.obs import summarize_file
 
-    trace_path = Path(args.trace)
-    if not trace_path.exists():
-        raise ReproError(f"no such trace file: {trace_path}")
-    print(summarize_file(trace_path))
+        trace_path = Path(args.trace)
+        if not trace_path.exists():
+            raise ReproError(f"no such trace file: {trace_path}")
+        print(summarize_file(trace_path))
+        return 0
+
+    root = Path(args.spool)
+    if not root.is_dir():
+        raise ReproError(f"no spool directory at {root}")
+
+    if args.obs_command == "aggregate":
+        import json as _json
+
+        from repro.obs import (
+            aggregate_metrics,
+            merge_timeline,
+            read_shard_metrics,
+            write_timeline,
+        )
+
+        timeline = merge_timeline(root)
+        print(f"timeline: {timeline.summary()}")
+        if args.out:
+            out = write_timeline(timeline, args.out)
+            print(f"timeline: wrote {len(timeline.records)} record(s) -> {out}")
+        snapshots, unreadable = read_shard_metrics(root)
+        agg = aggregate_metrics(snapshots)
+        print(f"metrics: {len(agg['metrics'])} metric(s) across "
+              f"{len(agg['shards'])} shard snapshot(s)"
+              + (f", {unreadable} unreadable file(s) skipped"
+                 if unreadable else ""))
+        for name in agg["conflicts"]:
+            print(f"metrics: conflict: shards disagree on {name!r} "
+                  "(kept first shard's)", file=sys.stderr)
+        if args.metrics_out:
+            out = Path(args.metrics_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(_json.dumps(agg, indent=2, sort_keys=True,
+                                       default=str) + "\n")
+            print(f"metrics: wrote aggregate -> {out}")
+        return 0
+
+    # report
+    from repro.obs import compute_slo_for_spool, render_slo_report
+
+    slos = compute_slo_for_spool(root)
+    print(render_slo_report(slos, title=f"SLO report for spool {root}"))
     return 0
 
 

@@ -16,6 +16,15 @@ Three cooperating pieces, each off by default and individually enableable:
 * :mod:`repro.obs.profiling` — opt-in aggregate ``cProfile`` plus
   wall-clock section timers around the hot paths (``--profile``).
 
+On top of the per-process substrate sits the *service plane* (DESIGN §13):
+:mod:`repro.obs.aggregate` merges per-shard trace files and metrics
+snapshots into one causally-ordered timeline / summed registry, keyed by
+the per-job ``trace_id`` propagated across processes via
+:func:`~repro.obs.trace.trace_context`; :mod:`repro.obs.slo` folds spool
+events plus worker spans into fixed-bucket latency histograms
+(queue-wait, lease-to-start, execute, end-to-end) behind ``repro obs
+report``.
+
 Instrumented code uses one primitive::
 
     from repro.obs import phase
@@ -36,6 +45,15 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs import profiling, trace
+from repro.obs.aggregate import (
+    Timeline,
+    aggregate_metrics,
+    merge_timeline,
+    read_shard_metrics,
+    read_shard_traces,
+    snapshot_quantile,
+    write_timeline,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -53,10 +71,19 @@ from repro.obs.profiling import (
     profiled,
     profiling_enabled,
 )
+from repro.obs.slo import (
+    SLO_BUCKETS,
+    SLO_METRICS,
+    compute_slo,
+    compute_slo_for_spool,
+    render_slo_report,
+    slo_snapshot,
+)
 from repro.obs.summarize import (
     PhaseSummary,
     TraceSummary,
     phase_rows,
+    read_jsonl_tolerant,
     read_trace,
     render_summary,
     summarize_file,
@@ -67,15 +94,19 @@ from repro.obs.trace import (
     Tracer,
     annotate,
     configure,
+    current_trace_id,
     get_tracer,
     shutdown,
     span,
+    trace_context,
     tracing_enabled,
     validate_record,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "SLO_BUCKETS",
+    "SLO_METRICS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -83,28 +114,42 @@ __all__ = [
     "PhaseSummary",
     "Profiler",
     "TRACE_SCHEMA",
+    "Timeline",
     "TraceSummary",
     "Tracer",
+    "aggregate_metrics",
     "annotate",
+    "compute_slo",
+    "compute_slo_for_spool",
     "configure",
+    "current_trace_id",
     "default_registry",
     "disable_profiling",
     "enable_profiling",
     "get_profiler",
     "get_tracer",
+    "merge_timeline",
     "phase",
     "phase_rows",
     "profiled",
     "profiling_enabled",
+    "read_jsonl_tolerant",
+    "read_shard_metrics",
+    "read_shard_traces",
     "read_trace",
     "render_summary",
+    "render_slo_report",
     "reset_default_registry",
     "shutdown",
+    "slo_snapshot",
+    "snapshot_quantile",
     "span",
     "summarize_file",
     "summarize_trace",
+    "trace_context",
     "tracing_enabled",
     "validate_record",
+    "write_timeline",
 ]
 
 

@@ -7,7 +7,10 @@ question every perf or reliability investigation asks of a run.
 
 Malformed lines are tolerated (a crashed run can tear its final write, just
 like a checkpoint journal) but *counted*, so silent corruption is visible in
-the summary header.
+the summary header. Tolerance extends to the bytes layer: a SIGKILL'd shard
+can tear a line mid-UTF-8-sequence, so files are read as bytes and decoded
+per line — an undecodable or unparsable line is a counted skip
+(``obs.reader.malformed_lines``), never an exception.
 """
 
 from __future__ import annotations
@@ -17,11 +20,42 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from repro.obs.metrics import default_registry as _metrics
 from repro.obs.trace import validate_record
 from repro.util.tables import format_table
 
-__all__ = ["PhaseSummary", "TraceSummary", "read_trace", "summarize_trace",
-           "render_summary", "summarize_file", "phase_rows"]
+__all__ = ["PhaseSummary", "TraceSummary", "read_jsonl_tolerant", "read_trace",
+           "summarize_trace", "render_summary", "summarize_file", "phase_rows"]
+
+
+def read_jsonl_tolerant(path) -> tuple[list[dict], int]:
+    """Parse a JSONL file, skipping (and counting) lines a crash mangled.
+
+    The writers this reads after (tracer, shard metrics flush, cache
+    capture) append whole lines but cannot fsync every record, so a
+    SIGKILL'd process leaves at most torn or byte-mangled lines. Reading
+    happens at the bytes layer: each line decodes and parses independently,
+    and every failure — bad UTF-8, truncated JSON, a non-object line — is a
+    counted skip mirrored into the ``obs.reader.malformed_lines`` counter,
+    exactly the tolerance :mod:`repro.service.spool` applies to its own log.
+    """
+    records: list[dict] = []
+    malformed = 0
+    for raw in Path(path).read_bytes().splitlines():
+        if not raw.strip():
+            continue
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            malformed += 1
+            continue
+        if not isinstance(record, dict):
+            malformed += 1
+            continue
+        records.append(record)
+    if malformed:
+        _metrics().counter("obs.reader.malformed_lines").inc(malformed)
+    return records, malformed
 
 
 @dataclass(frozen=True)
@@ -55,14 +89,11 @@ class TraceSummary:
 
 def read_trace(path) -> tuple[list[dict], int]:
     """Parse a trace file into validated records plus a malformed-line count."""
+    parsed, malformed = read_jsonl_tolerant(path)
     records: list[dict] = []
-    malformed = 0
-    text = Path(path).read_text()
-    for line in text.splitlines():
-        if not line.strip():
-            continue
+    for record in parsed:
         try:
-            records.append(validate_record(json.loads(line)))
+            records.append(validate_record(record))
         except ValueError:
             malformed += 1
     return records, malformed

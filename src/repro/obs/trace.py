@@ -28,6 +28,13 @@ and within noise of the untraced wall-clock. When a tracer is configured
 ``status`` / ``error``
     ``"ok"`` or ``"error"``; on error the exception's class name and
     message are captured (and the exception propagates unchanged).
+``trace_id``
+    Optional cross-process correlation key (``null`` outside any trace
+    context). The service stamps one trace id per job at submission; every
+    worker that touches the job — including a successor resuming it after a
+    crash — adopts it via :func:`trace_context`, so
+    :mod:`repro.obs.aggregate` can merge per-shard trace files into one
+    per-job timeline spanning submit → lease → execute → done.
 
 Completed spans also feed the metrics registry when one is attached:
 ``span.<name>.seconds`` (histogram) and ``span.<name>.errors`` (counter).
@@ -47,9 +54,11 @@ __all__ = [
     "Tracer",
     "annotate",
     "configure",
+    "current_trace_id",
     "get_tracer",
     "shutdown",
     "span",
+    "trace_context",
     "tracing_enabled",
     "validate_record",
 ]
@@ -99,21 +108,72 @@ def validate_record(record: Any) -> dict[str, Any]:
         raise ValueError(f"trace duration_s must be >= 0, got {record['duration_s']}")
     if record["status"] == "error" and record["error"] is None:
         raise ValueError("trace status is 'error' but no error payload present")
+    if "trace_id" in record and not isinstance(record["trace_id"], (str, type(None))):
+        raise ValueError(
+            f"trace field 'trace_id' has type {type(record['trace_id']).__name__}, "
+            "expected str/NoneType")
     return record
+
+
+# -- cross-process trace context ---------------------------------------------
+#
+# The current trace id is process-global, per-thread state *independent* of
+# any tracer instance: a worker adopts a job's trace id before it knows
+# whether tracing is even configured, and setting a thread-local is cheap
+# enough to do unconditionally (no I/O, no allocation beyond the attribute).
+
+_CONTEXT = threading.local()
+
+
+def current_trace_id() -> str | None:
+    """The trace id spans/events opened on this thread will carry."""
+    return getattr(_CONTEXT, "trace_id", None)
+
+
+class _TraceContextCM:
+    """Context manager restoring the previous trace id on exit (nestable)."""
+
+    __slots__ = ("_trace_id", "_previous")
+
+    def __init__(self, trace_id: str | None) -> None:
+        self._trace_id = trace_id
+        self._previous: str | None = None
+
+    def __enter__(self) -> str | None:
+        self._previous = current_trace_id()
+        _CONTEXT.trace_id = self._trace_id
+        return self._trace_id
+
+    def __exit__(self, *exc: Any) -> bool:
+        _CONTEXT.trace_id = self._previous
+        return False
+
+
+def trace_context(trace_id: str | None) -> _TraceContextCM:
+    """Adopt ``trace_id`` as the current correlation key for this thread.
+
+    Every span/event recorded inside the ``with`` block carries it, tying
+    work done in this process to the distributed trace that id names (for
+    the service: one id per job, minted at submission, shared by every
+    worker generation that touches the job).
+    """
+    return _TraceContextCM(trace_id)
 
 
 class _SpanHandle:
     """What ``with span(...) as sp`` yields: lets the body add attributes."""
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "_t0_monotonic",
-                 "_t_wall")
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "trace_id",
+                 "_t0_monotonic", "_t_wall")
 
     def __init__(self, name: str, attrs: dict[str, Any], span_id: int,
-                 parent_id: int | None, t0: float, t_wall: float) -> None:
+                 parent_id: int | None, t0: float, t_wall: float,
+                 trace_id: str | None = None) -> None:
         self.name = name
         self.attrs = attrs
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
         self._t0_monotonic = t0
         self._t_wall = t_wall
 
@@ -147,6 +207,7 @@ class _NullHandle:
     name = ""
     span_id = -1
     parent_id = None
+    trace_id = None
 
     @property
     def attrs(self) -> dict[str, Any]:
@@ -234,7 +295,8 @@ class Tracer:
         stack = self._stack()
         parent_id = stack[-1].span_id if stack else None
         handle = _SpanHandle(name, dict(attrs), self._allocate_id(), parent_id,
-                             time.monotonic(), time.time())
+                             time.monotonic(), time.time(),
+                             trace_id=current_trace_id())
         return _SpanContext(self, handle)
 
     def _push(self, handle: _SpanHandle) -> None:
@@ -260,6 +322,7 @@ class Tracer:
             "duration_s": duration,
             "status": status,
             "error": error,
+            "trace_id": handle.trace_id,
             "attrs": handle.attrs,
         })
         if self.registry is not None:
@@ -283,6 +346,7 @@ class Tracer:
             "duration_s": 0.0,
             "status": "ok",
             "error": None,
+            "trace_id": current_trace_id(),
             "attrs": dict(attrs),
         })
 

@@ -241,6 +241,132 @@ def _check_stale_leases() -> DoctorCheck:
         f"worst: {worst.id[:12]} with {worst.n_expired} expired lease(s))")
 
 
+def _check_status_file() -> DoctorCheck:
+    """``serve --status-file`` target writability (``REPRO_STATUS_FILE``)."""
+    target = os.environ.get("REPRO_STATUS_FILE")
+    if not target:
+        return DoctorCheck("status-file", True,
+                           "REPRO_STATUS_FILE unset (no status file configured)")
+    parent = Path(target).parent
+    try:
+        parent.mkdir(parents=True, exist_ok=True)
+        with tempfile.NamedTemporaryFile(dir=parent, prefix=".doctor-",
+                                         suffix=".probe"):
+            pass
+    except OSError as exc:
+        return DoctorCheck("status-file", False,
+                           f"{parent}: not writable ({exc}) — the serve loop "
+                           "would count every status write as a failure")
+    return DoctorCheck("status-file", True, f"{parent}: writable")
+
+
+#: A live shard's metrics snapshot older than this (relative to its own
+#: heartbeat) means the heartbeat-path flush is not running.
+_SNAPSHOT_STALE_S = 30.0
+
+
+def _check_shard_snapshots() -> DoctorCheck:
+    """Per-shard metrics snapshot freshness vs. the shard's heartbeat.
+
+    A worker beats every few tasks and flushes its metrics from the same
+    path; a shard whose heartbeat is current but whose snapshot is tens of
+    seconds behind has a broken flush (telemetry would be lost at SIGKILL —
+    the exact blind spot the heartbeat flush exists to close).
+    """
+    import json
+    import time
+
+    root = os.environ.get("REPRO_SPOOL_DIR")
+    if not root or not Path(root).is_dir():
+        return DoctorCheck("shard-snapshots", True, "no spool to inspect")
+    from repro.service import JobSpool
+
+    now = time.time()
+    live: dict[str, dict] = {}
+    for name, hb in JobSpool.open(root).heartbeats().items():
+        if now - float(hb.get("t", 0.0)) >= _SNAPSHOT_STALE_S:
+            continue
+        try:
+            # A recent beat from an exited shard (service just drained) is
+            # not a broken flush — only probe processes that still exist.
+            os.kill(int(hb.get("pid")), 0)
+        except (OSError, TypeError, ValueError):
+            continue
+        live[name] = hb
+    if not live:
+        return DoctorCheck("shard-snapshots", True,
+                           "no live shards (nothing to be stale against)")
+    stale: list[str] = []
+    for name, hb in sorted(live.items()):
+        path = Path(root) / "metrics" / f"{name}.json"
+        snap_t = None
+        try:
+            doc = json.loads(path.read_text())
+            snap_t = float(doc.get("t")) if isinstance(doc, dict) \
+                and doc.get("t") is not None else path.stat().st_mtime
+        except (OSError, ValueError, TypeError):
+            pass
+        if snap_t is None:
+            stale.append(f"{name} (no snapshot)")
+        elif float(hb.get("t", 0.0)) - snap_t > _SNAPSHOT_STALE_S:
+            stale.append(f"{name} ({hb.get('t', 0.0) - snap_t:.0f}s behind)")
+    if stale:
+        return DoctorCheck(
+            "shard-snapshots", False,
+            f"{len(stale)} live shard(s) with stale metrics: "
+            + ", ".join(stale))
+    return DoctorCheck("shard-snapshots", True,
+                       f"{len(live)} live shard(s), snapshots current")
+
+
+#: Spool-vs-span wall-clock disagreement beyond this breaks merged-timeline
+#: ordering badly enough to flag (sub-second skew is clamped in SLO math).
+_CLOCK_SKEW_S = 60.0
+
+
+def _check_clock_skew() -> DoctorCheck:
+    """Spool event timestamps vs. worker span timestamps, per trace.
+
+    Both sides stamp ``time.time()``; the merged timeline and the SLO fold
+    order across them, so a shard whose clock disagrees with the submitter's
+    by minutes (broken NTP in a container) silently corrupts both. An
+    execute span opening *before* the lease that dispatched it is the
+    telltale — leases causally precede execution.
+    """
+    root = os.environ.get("REPRO_SPOOL_DIR")
+    if not root or not Path(root).is_dir():
+        return DoctorCheck("clock-skew", True, "no spool to inspect")
+    from repro.obs.aggregate import read_shard_traces, read_spool_events
+    from repro.obs.slo import EXECUTE_SPAN, fold_job_timings
+
+    events, _ = read_spool_events(root)
+    spans, _ = read_shard_traces(root)
+    timings = {jt.trace_id: jt for jt in fold_job_timings(events).values()}
+    worst = 0.0
+    n_paired = 0
+    for rec in spans:
+        if rec.get("kind") != "span" or rec.get("name") != EXECUTE_SPAN:
+            continue
+        jt = timings.get(rec.get("trace_id"))
+        if jt is None or not jt.lease_ts:
+            continue
+        n_paired += 1
+        skew = min(jt.lease_ts) - float(rec.get("t_wall", 0.0))
+        worst = max(worst, skew)
+    if not n_paired:
+        return DoctorCheck("clock-skew", True,
+                           "no traced executions to compare against the spool")
+    if worst > _CLOCK_SKEW_S:
+        return DoctorCheck(
+            "clock-skew", False,
+            f"execute spans open up to {worst:.0f}s before their dispatching "
+            "lease — shard and submitter clocks disagree; merged timelines "
+            "and SLO percentiles are untrustworthy")
+    return DoctorCheck(
+        "clock-skew", True,
+        f"{n_paired} span/lease pair(s), worst skew {max(worst, 0.0):.2f}s")
+
+
 _CHECKS: tuple[Callable[[], DoctorCheck], ...] = (
     _check_python,
     _check_numpy,
@@ -252,6 +378,9 @@ _CHECKS: tuple[Callable[[], DoctorCheck], ...] = (
     _check_fd_headroom,
     _check_start_method,
     _check_stale_leases,
+    _check_status_file,
+    _check_shard_snapshots,
+    _check_clock_skew,
 )
 
 

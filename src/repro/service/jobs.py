@@ -107,6 +107,10 @@ class JobView:
     error_type: str | None = None
     message: str | None = None
     elapsed: float | None = None
+    #: Cross-process trace correlation key, stamped at submission (equal to
+    #: the job id by construction; carried explicitly so every consumer —
+    #: worker spans, merged timelines — reads it rather than re-deriving it).
+    trace_id: str | None = None
 
     def summary(self) -> str:
         tail = ""

@@ -186,6 +186,10 @@ class JobSpool:
                 if rec is None:
                     raw[jid] = {
                         "spec": JobSpec.from_dict(ev["spec"]),
+                        # Older logs predate trace stamping; the id *is* the
+                        # trace id by construction, so falling back to it
+                        # keeps correlation working across the upgrade.
+                        "trace_id": str(ev.get("trace_id") or jid),
                         "submitted_t": float(ev.get("t", 0.0)),
                         "deadline_s": ev.get("deadline_s"),
                         "worker": None, "expires": None,
@@ -240,7 +244,7 @@ class JobSpool:
                 worker=rec["worker"], lease_expires=rec["expires"],
                 n_leases=rec["n_leases"], n_expired=rec["n_expired"],
                 error_type=rec["error_type"], message=rec["message"],
-                elapsed=rec["elapsed"],
+                elapsed=rec["elapsed"], trace_id=rec["trace_id"],
             )
         return views
 
@@ -274,8 +278,12 @@ class JobSpool:
                     f"{self.config.max_depth}; job rejected "
                     f"({spec.summary()}) — retry later",
                     depth=depth, max_depth=self.config.max_depth)
+            # trace_id == job id: the distributed trace of a job IS the job,
+            # so dedup'd submissions, crash re-dispatch, and failed-job
+            # resubmission all land in one correlated timeline.
             self._append({"ev": "submit", "id": jid, "spec": spec.as_dict(),
-                          "t": time.time(), "deadline_s": deadline_s})
+                          "t": time.time(), "deadline_s": deadline_s,
+                          "trace_id": jid})
             _metrics().counter("service.jobs.submitted").inc()
             _metrics().gauge("service.queue.depth").set(depth + 1)
         return jid
@@ -300,13 +308,14 @@ class JobSpool:
                 _metrics().counter("service.lease.expired").inc()
             expires = now + self.config.lease_ttl
             self._append({"ev": "lease", "id": job.id, "worker": worker,
-                          "expires": expires})
+                          "expires": expires, "t": now})
             _metrics().counter("service.jobs.claimed").inc()
             return JobView(
                 id=job.id, spec=job.spec, state="running",
                 submitted_t=job.submitted_t, deadline_s=job.deadline_s,
                 worker=worker, lease_expires=expires,
                 n_leases=job.n_leases + 1, n_expired=job.n_expired,
+                trace_id=job.trace_id,
             )
 
     def renew(self, jid: str, worker: str, now: float | None = None) -> None:
@@ -320,7 +329,7 @@ class JobSpool:
         now = time.time() if now is None else now
         with self._lock:
             self._append({"ev": "renew", "id": jid, "worker": worker,
-                          "expires": now + self.config.lease_ttl})
+                          "expires": now + self.config.lease_ttl, "t": now})
         _metrics().counter("service.lease.renewed").inc()
 
     def complete(self, jid: str, worker: str, result: Any,
@@ -329,7 +338,7 @@ class JobSpool:
         self.results.put(jid, result)
         with self._lock:
             self._append({"ev": "done", "id": jid, "worker": worker,
-                          "elapsed": elapsed})
+                          "elapsed": elapsed, "t": time.time()})
         _metrics().counter("service.jobs.completed").inc()
 
     def fail(self, jid: str, worker: str, error_type: str, message: str,
@@ -338,7 +347,8 @@ class JobSpool:
         with self._lock:
             self._append({"ev": "fail", "id": jid, "worker": worker,
                           "error_type": error_type,
-                          "message": message[:500], "elapsed": elapsed})
+                          "message": message[:500], "elapsed": elapsed,
+                          "t": time.time()})
         _metrics().counter("service.jobs.failed").inc()
 
     def result(self, jid: str, default: Any = None) -> Any:
@@ -370,12 +380,21 @@ class JobSpool:
 
     # -- heartbeats ----------------------------------------------------------
 
-    def heartbeat(self, worker: str, job: str | None = None) -> None:
-        """Atomically record that ``worker`` is alive right now."""
+    def heartbeat(self, worker: str, job: str | None = None,
+                  breakers: dict[str, str] | None = None) -> None:
+        """Atomically record that ``worker`` is alive right now.
+
+        ``breakers`` (breaker name -> state) rides along so the supervisor's
+        live status file can report per-shard breaker health without any
+        extra IPC — the heartbeat file is already the liveness channel.
+        """
         hb_dir = self.root / "hb"
         hb_dir.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"pid": os.getpid(), "t": time.time(), "job": job})
+        record: dict[str, Any] = {"pid": os.getpid(), "t": time.time(),
+                                  "job": job}
+        if breakers:
+            record["breakers"] = breakers
+        payload = json.dumps(record)
         tmp = hb_dir / f".{worker}.tmp"
         tmp.write_text(payload + "\n")
         os.replace(tmp, hb_dir / f"{worker}.json")

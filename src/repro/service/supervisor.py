@@ -32,6 +32,7 @@ import signal
 import threading
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -43,7 +44,10 @@ from repro.service.spool import JobSpool, SpoolConfig
 from repro.service.worker import WorkerConfig, worker_main
 from repro.util.rng import stream_seed
 
-__all__ = ["ServiceConfig", "WorkerSupervisor"]
+__all__ = ["STATUS_SCHEMA", "ServiceConfig", "WorkerSupervisor"]
+
+#: Live health snapshot written by ``serve --status-file`` (DESIGN §13).
+STATUS_SCHEMA = "repro-status/1"
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,14 @@ class ServiceConfig:
     #: Eviction policy every worker shard's result cache runs
     #: (lru/lfu/2q/arc); None falls back to REPRO_CACHE_POLICY, then lru.
     cache_policy: str | None = None
+    #: Observability plane: workers write per-shard ``repro-trace/1`` files
+    #: with one trace id per job (``serve --obs``). Off by default; job
+    #: execution stays bit-identical either way.
+    obs: bool = False
+    #: Live health snapshot path (``serve --status-file``); None: no status
+    #: writes. The file is replaced atomically every ``status_interval``.
+    status_file: str | None = None
+    status_interval: float = 2.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -80,6 +92,9 @@ class ServiceConfig:
             raise ValueError("heartbeat_timeout and poll_interval must be > 0")
         if self.idle_grace < 0:
             raise ValueError(f"idle_grace must be >= 0, got {self.idle_grace}")
+        if self.status_interval <= 0:
+            raise ValueError(
+                f"status_interval must be > 0, got {self.status_interval}")
 
 
 @dataclass
@@ -127,6 +142,7 @@ class WorkerSupervisor:
             poll_interval=self.config.poll_interval,
             injector=injector,
             cache_policy=self.config.cache_policy,
+            obs=self.config.obs,
         )
 
     def _spawn(self, slot: _Slot) -> None:
@@ -150,6 +166,32 @@ class WorkerSupervisor:
             self.config.seed, "svc-restart", slot.index, slot.restarts)).random()
         return base * (0.5 + u)  # [0.5x, 1.5x)
 
+    def _salvage_metrics(self, slot: _Slot) -> None:
+        """Preserve a dead worker's last metrics snapshot before respawn.
+
+        The replacement generation will overwrite ``metrics/<name>.json``;
+        renaming the dead generation's file to a generation-suffixed name
+        keeps its counts visible to the aggregator. The snapshot embeds the
+        writer's pid, so the ``(shard, pid)`` dedup in
+        :func:`repro.obs.aggregate.read_shard_metrics` guarantees the rename
+        can never double-count a shard that also flushed under its live name.
+
+        Only called on the respawn path: a retired slot is never respawned,
+        so its final self-written snapshot stays under the live name (where
+        the doctor's shard-snapshot freshness probe expects it).
+        """
+        metrics_dir = self.spool.root / "metrics"
+        src = metrics_dir / f"{slot.name}.json"
+        dst = metrics_dir / f"{slot.name}.g{slot.generation}.json"
+        try:
+            import os
+
+            os.replace(src, dst)
+        except OSError:
+            return  # never flushed (died early) or already salvaged
+        self.events.append(f"salvage-metrics:{slot.name}:g{slot.generation}")
+        _metrics().counter("service.metrics.salvaged").inc()
+
     def _handle_dead(self, slot: _Slot, why: str) -> None:
         self.events.append(f"exit:{slot.name}:{why}")
         _metrics().counter("service.worker.deaths").inc()
@@ -162,6 +204,7 @@ class WorkerSupervisor:
             slot.retired = True
             self.events.append(f"retired:{slot.name}")
             return
+        self._salvage_metrics(slot)
         slot.restarts += 1
         if slot.restarts > self.config.max_restarts:
             slot.abandoned = True
@@ -206,6 +249,77 @@ class WorkerSupervisor:
                 sigkill_process(p.pid)
                 p.join()
                 self._handle_dead(slot, "hung")
+
+    # -- live status ---------------------------------------------------------
+
+    def status_snapshot(self) -> dict:
+        """One ``repro-status/1`` health document: the operator's dashboard.
+
+        Shard liveness (process + heartbeat age + breaker states from the
+        heartbeat payloads), queue depth per state, and the current SLO
+        percentiles folded from the spool log and any shard traces. Pure
+        read — safe to call from tests without a status file configured.
+        """
+        from repro.obs.slo import compute_slo_for_spool, slo_snapshot
+
+        now = time.time()
+        heartbeats = self.spool.heartbeats()
+        workers = []
+        for slot in self.slots:
+            p = slot.process
+            hb = heartbeats.get(slot.name)
+            hb_age = None
+            breakers = None
+            if hb is not None and p is not None and hb.get("pid") == p.pid:
+                hb_age = max(0.0, now - float(hb.get("t", 0.0)))
+                breakers = hb.get("breakers")
+            workers.append({
+                "name": slot.name,
+                "alive": p is not None and p.is_alive(),
+                "pid": p.pid if p is not None else None,
+                "generation": slot.generation,
+                "restarts": slot.restarts,
+                "abandoned": slot.abandoned,
+                "retired": slot.retired,
+                "hb_age_s": hb_age,
+                "job": hb.get("job") if hb is not None else None,
+                "breakers": breakers,
+            })
+        by_state = {"pending": 0, "running": 0, "done": 0, "failed": 0}
+        for view in self.spool.jobs(now).values():
+            by_state[view.state] = by_state.get(view.state, 0) + 1
+        return {
+            "schema": STATUS_SCHEMA,
+            "t": now,
+            "root": str(self.spool.root),
+            "draining": self._drain_flag.is_set(),
+            "workers": workers,
+            "queue": dict(by_state,
+                          depth=by_state["pending"] + by_state["running"]),
+            "slo": slo_snapshot(compute_slo_for_spool(self.spool.root)),
+        }
+
+    def write_status(self) -> None:
+        """Atomically refresh the status file (no-op without one configured).
+
+        Written tmp + ``os.replace`` so a reader never sees a torn JSON
+        document; write failures are counted, never allowed to take the
+        serve loop down.
+        """
+        if not self.config.status_file:
+            return
+        import json
+        import os
+
+        path = Path(self.config.status_file)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{path.name}.tmp"
+            tmp.write_text(json.dumps(self.status_snapshot(), indent=2,
+                                      sort_keys=True, default=str) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            _metrics().counter("service.status.write_failures").inc()
 
     # -- drain and shutdown --------------------------------------------------
 
@@ -261,10 +375,16 @@ class WorkerSupervisor:
         self.start()
         started = time.monotonic()
         idle_since: float | None = None
+        last_status: float | None = None
         try:
             while True:
                 self.poll()
                 now = time.monotonic()
+                if self.config.status_file and (
+                        last_status is None
+                        or now - last_status >= self.config.status_interval):
+                    self.write_status()
+                    last_status = now
                 if self.config.max_runtime is not None and \
                         now - started > self.config.max_runtime:
                     self.request_drain(why="max-runtime")
@@ -291,6 +411,9 @@ class WorkerSupervisor:
                 time.sleep(self.config.poll_interval)
         finally:
             self.stop()
+            # Final status write: the file a monitor finds after shutdown
+            # says "drained, queue state X", not a stale mid-run snapshot.
+            self.write_status()
             # Hand the displaced handlers back so an embedding process
             # (tests, a larger application) regains its own signal behaviour.
             for sig, handler in displaced.items():

@@ -46,6 +46,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import CheckpointError, JobDeadlineExceeded, SweepAborted
+from repro.obs import trace as _trace
 from repro.obs.metrics import default_registry as _metrics
 from repro.parallel.executor import SerialExecutor
 from repro.parallel.resilient import (
@@ -95,6 +96,14 @@ class WorkerConfig:
     #: Memory-tier eviction policy for the shard's result cache
     #: (lru/lfu/2q/arc); None falls back to REPRO_CACHE_POLICY, then lru.
     cache_policy: str | None = None
+    #: Observability plane: when True the shard writes a ``repro-trace/1``
+    #: file (``<root>/obs/trace.<name>.jsonl``) with one trace id per job.
+    #: Off by default — execution stays bit-identical and span-free.
+    obs: bool = False
+    #: Minimum wall-clock seconds between heartbeat-path metrics flushes.
+    #: The flush itself always runs (a SIGKILL'd shard must not be a
+    #: telemetry blind spot); this only bounds its frequency.
+    metrics_flush_s: float = 2.0
 
 
 class _GuardedLadder:
@@ -119,12 +128,18 @@ class _SweepTask:
     """
 
     def __init__(self, spool: JobSpool, worker: str, job_id: str,
-                 deadline_t: float | None, heartbeat_every: int) -> None:
+                 deadline_t: float | None, heartbeat_every: int,
+                 beat=None) -> None:
         self.spool = spool
         self.worker = worker
         self.job_id = job_id
         self.deadline_t = deadline_t
         self.heartbeat_every = max(1, heartbeat_every)
+        # The owning Worker's heartbeat method when available: it layers the
+        # breaker states and the periodic metrics flush onto the plain spool
+        # heartbeat, so mid-sweep beats keep shard telemetry current too.
+        self._beat = beat if beat is not None else \
+            (lambda job=None: spool.heartbeat(worker, job=job))
         self._n = 0
         # Renew well inside the TTL so a sweep that outlives one lease is
         # never re-dispatched from under us; checked every task (wall-clock
@@ -139,7 +154,7 @@ class _SweepTask:
                 job_id=self.job_id)
         self._n += 1
         if self._n % self.heartbeat_every == 0:
-            self.spool.heartbeat(self.worker, job=self.job_id)
+            self._beat(job=self.job_id)
         now = time.time()
         if now - self._last_renew >= self._renew_every:
             self.spool.renew(self.job_id, self.worker, now=now)
@@ -167,6 +182,7 @@ class Worker:
         #: "cached-result:<id>", "conflict:<id>" — assertable without
         #: reaching into the spool.
         self.events: list[str] = []
+        self._last_flush = time.monotonic()
         self._configure_cache()
 
     def _configure_cache(self) -> None:
@@ -196,6 +212,24 @@ class Worker:
         if trace_root:
             configure_capture(f"{trace_root}.{self.config.name}")
 
+    def heartbeat(self, job: str | None = None) -> None:
+        """Beat liveness *and* keep shard telemetry current.
+
+        Every beat carries the breaker states (for the supervisor's status
+        file) and, at most every ``metrics_flush_s`` seconds, flushes the
+        metrics registry to this shard's snapshot file — so a worker the
+        supervisor later SIGKILLs has telemetry at most one flush interval
+        stale instead of losing everything it ever counted.
+        """
+        self.spool.heartbeat(self.config.name, job=job, breakers={
+            "model-fit": self.fit_breaker.state,
+            "disk-cache": self.disk_breaker.state,
+        })
+        now = time.monotonic()
+        if now - self._last_flush >= self.config.metrics_flush_s:
+            self._last_flush = now
+            self._export_metrics()
+
     # -- job execution -------------------------------------------------------
 
     def execute(self, job: JobView) -> Any:
@@ -221,7 +255,8 @@ class Worker:
         profile = get_profile(spec.app)
         items = [(c, profile, spec.n_instructions) for c in configs]
         task = _SweepTask(self.spool, self.config.name, job.id,
-                          deadline_t, self.config.heartbeat_every)
+                          deadline_t, self.config.heartbeat_every,
+                          beat=self.heartbeat)
         try:
             journal = CheckpointJournal(self.spool.checkpoint_path(job.id),
                                         resume=True, lock=True)
@@ -275,7 +310,7 @@ class Worker:
             raise JobDeadlineExceeded(
                 f"job {job.id[:12]} passed its deadline after the sweep",
                 job_id=job.id, deadline_s=job.deadline_s)
-        self.spool.heartbeat(self.config.name, job=job.id)
+        self.heartbeat(job=job.id)
         self.spool.renew(job.id, self.config.name)
         builders = model_builders((spec.model,), seed=spec.seed)
         ladder = None
@@ -304,12 +339,21 @@ class Worker:
         owned by a live worker (journal flock held): both mean "nothing to
         do right now, sleep a poll interval before trying again".
         """
-        self.spool.heartbeat(self.config.name)
+        self.heartbeat()
         job = self.spool.claim(self.config.name)
         if job is None:
             return False
+        # Adopt the job's trace id for everything this attempt does: spans
+        # and events from this shard join the cross-process timeline the
+        # submitter started, even when this is a re-dispatch after a crash.
+        with _trace.trace_context(job.trace_id or job.id):
+            return self._run_claimed(job)
+
+    def _run_claimed(self, job: JobView) -> bool:
         self.events.append(f"claim:{job.id[:12]}")
-        self.spool.heartbeat(self.config.name, job=job.id)
+        _trace.annotate("job.claim", job_id=job.id, worker=self.config.name,
+                        attempt=job.n_leases)
+        self.heartbeat(job=job.id)
         started = time.monotonic()
         cached = self.spool.result(job.id, _ABSENT)
         if cached is not _ABSENT:
@@ -317,10 +361,14 @@ class Worker:
             # ``done`` event landed; completion is all that is left to do.
             self.events.append(f"cached-result:{job.id[:12]}")
             _metrics().counter("service.jobs.result_reused").inc()
+            _trace.annotate("job.result-reused", job_id=job.id)
             self.spool.complete(job.id, self.config.name, cached, elapsed=0.0)
             return True
         try:
-            result = self.execute(job)
+            with _trace.span("job.execute", job_id=job.id,
+                             job_kind=job.spec.kind, worker=self.config.name,
+                             attempt=job.n_leases):
+                result = self.execute(job)
         except _JournalLockHeld:
             # The job is still owned by a live worker whose lease lapsed
             # (our claim re-leased it). Not a failure: append no terminal
@@ -350,35 +398,61 @@ class Worker:
         strands a freshly leased job — the current job always finishes, the
         next one stays pending for the post-restart service.
         """
+        if self.config.obs:
+            # Per-shard trace file: single writer, no cross-process locking
+            # on the hot path; repro.obs.aggregate merges them afterwards.
+            _trace.configure(
+                trace_path=str(self.spool.root / "obs"
+                               / f"trace.{self.config.name}.jsonl"),
+                registry=_metrics())
         n_done = 0
-        while True:
-            if self.spool.drain_requested():
-                break
-            if self.config.max_jobs is not None and n_done >= self.config.max_jobs:
-                break
-            if self.run_once():
-                n_done += 1
-            else:
-                time.sleep(self.config.poll_interval)
-        self._export_metrics()
+        try:
+            while True:
+                if self.spool.drain_requested():
+                    break
+                if self.config.max_jobs is not None \
+                        and n_done >= self.config.max_jobs:
+                    break
+                if self.run_once():
+                    n_done += 1
+                else:
+                    time.sleep(self.config.poll_interval)
+        finally:
+            self._export_metrics(final=True)
+            if self.config.obs:
+                _trace.shutdown()
         return n_done
 
-    def _export_metrics(self) -> None:
-        """Persist this shard's metrics so the service can aggregate them."""
+    def _export_metrics(self, final: bool = False) -> None:
+        """Persist this shard's metrics so the service can aggregate them.
+
+        Called from the heartbeat path throughout the shard's life (capped
+        by ``metrics_flush_s``) and once more at exit with ``final=True``,
+        which also covers the last partial flush interval and flushes the
+        cache access capture — a step too expensive (and one-shot) for the
+        periodic path.
+        """
         import json
+        import os
 
-        from repro.cache.capture import shutdown_capture
+        if final:
+            from repro.cache.capture import shutdown_capture
 
-        shutdown_capture()  # flush any per-shard access trace
-
+            shutdown_capture()  # flush any per-shard access trace
+        doc = {
+            "schema": "repro-shardmetrics/1",
+            "shard": self.config.name,
+            "pid": os.getpid(),
+            "t": time.time(),
+            "final": final,
+            "metrics": _metrics().snapshot(),
+        }
         out_dir = self.spool.root / "metrics"
         try:
             out_dir.mkdir(parents=True, exist_ok=True)
             tmp = out_dir / f".{self.config.name}.tmp"
-            tmp.write_text(json.dumps(_metrics().snapshot(), indent=2,
-                                      sort_keys=True, default=str) + "\n")
-            import os
-
+            tmp.write_text(json.dumps(doc, indent=2, sort_keys=True,
+                                      default=str) + "\n")
             os.replace(tmp, out_dir / f"{self.config.name}.json")
         except OSError:
             _metrics().counter("service.metrics.export_failures").inc()

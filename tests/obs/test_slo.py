@@ -1,0 +1,141 @@
+"""SLO fold: job timings from spool events, latency histograms, reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import (
+    SLO_BUCKETS,
+    SLO_METRICS,
+    compute_slo,
+    fold_job_timings,
+    render_slo_report,
+    slo_snapshot,
+)
+
+
+def _events():
+    """One done job, one failed-then-resubmitted-then-done job."""
+    return [
+        {"ev": "submit", "id": "a", "t": 100.0, "trace_id": "a",
+         "spec": {"kind": "sweep"}},
+        {"ev": "lease", "id": "a", "t": 101.0, "worker": "w0"},
+        {"ev": "done", "id": "a", "t": 105.0, "worker": "w0"},
+        {"ev": "submit", "id": "b", "t": 100.0, "trace_id": "b",
+         "spec": {"kind": "fit"}},
+        {"ev": "lease", "id": "b", "t": 102.0, "worker": "w1"},
+        {"ev": "fail", "id": "b", "t": 103.0, "worker": "w1"},
+        # resubmission of the failed job: fresh clock
+        {"ev": "submit", "id": "b", "t": 200.0, "spec": {"kind": "fit"}},
+        {"ev": "lease", "id": "b", "t": 203.0, "worker": "w0"},
+        {"ev": "done", "id": "b", "t": 210.0, "worker": "w0"},
+    ]
+
+
+def _execute_span(trace_id, t_wall, duration, **attrs):
+    return {"schema": "repro-trace/1", "kind": "span", "span_id": 1,
+            "parent_id": None, "name": "job.execute", "t_wall": t_wall,
+            "t_start": 0.0, "duration_s": duration, "status": "ok",
+            "error": None, "trace_id": trace_id, "attrs": attrs}
+
+
+class TestFoldJobTimings:
+    def test_basic_milestones(self):
+        jobs = fold_job_timings(_events())
+        a = jobs["a"]
+        assert (a.kind, a.trace_id) == ("sweep", "a")
+        assert a.submit_t == 100.0
+        assert a.lease_ts == [101.0]
+        assert (a.terminal, a.terminal_t) == ("done", 105.0)
+
+    def test_failed_resubmit_reopens_on_fresh_clock(self):
+        b = fold_job_timings(_events())["b"]
+        assert b.submit_t == 200.0  # not the original 100.0
+        assert b.lease_ts == [203.0]  # pre-fail lease cleared
+        assert (b.terminal, b.terminal_t) == ("done", 210.0)
+
+    def test_first_terminal_wins(self):
+        jobs = fold_job_timings([
+            {"ev": "submit", "id": "a", "t": 1.0},
+            {"ev": "done", "id": "a", "t": 2.0},
+            {"ev": "done", "id": "a", "t": 99.0},
+            {"ev": "lease", "id": "a", "t": 50.0},  # post-terminal: ignored
+        ])
+        assert jobs["a"].terminal_t == 2.0
+        assert jobs["a"].lease_ts == []
+
+    def test_events_without_t_contribute_nothing(self):
+        jobs = fold_job_timings([
+            {"ev": "submit", "id": "a"},
+            {"ev": "lease", "id": "a"},
+            {"ev": "done", "id": "a"},
+        ])
+        assert jobs["a"].submit_t is None
+        assert jobs["a"].lease_ts == []
+        assert jobs["a"].terminal == "done"
+
+    def test_unknown_job_events_skipped(self):
+        assert fold_job_timings([{"ev": "lease", "id": "ghost", "t": 1.0},
+                                 {"ev": "hb", "worker": "w0"}]) == {}
+
+
+class TestComputeSlo:
+    def test_queue_wait_and_e2e_from_spool_clock(self):
+        slos = compute_slo(_events(), [])
+        sweep = slos["sweep"]
+        assert sweep["queue_wait"].snapshot()["sum"] == pytest.approx(1.0)
+        assert sweep["e2e"].snapshot()["sum"] == pytest.approx(5.0)
+        fit = slos["fit"]
+        assert fit["queue_wait"].snapshot()["sum"] == pytest.approx(3.0)
+        assert fit["e2e"].snapshot()["sum"] == pytest.approx(10.0)
+
+    def test_execute_and_lease_to_start_from_spans(self):
+        spans = [_execute_span("a", t_wall=101.25, duration=3.5)]
+        slos = compute_slo(_events(), spans)
+        sweep = slos["sweep"]
+        assert sweep["execute"].snapshot()["sum"] == pytest.approx(3.5)
+        assert sweep["lease_to_start"].snapshot()["sum"] == \
+            pytest.approx(0.25)
+
+    def test_span_before_any_lease_skips_lease_to_start(self):
+        spans = [_execute_span("a", t_wall=100.5, duration=1.0)]
+        sweep = compute_slo(_events(), spans)["sweep"]
+        assert sweep["execute"].snapshot()["count"] == 1
+        assert "lease_to_start" not in sweep
+
+    def test_unmatched_span_falls_back_to_attr_kind(self):
+        spans = [_execute_span("stray", 1.0, 2.0, job_kind="mystery")]
+        slos = compute_slo([], spans)
+        assert slos["mystery"]["execute"].snapshot()["count"] == 1
+
+    def test_failed_job_has_no_e2e(self):
+        events = _events()[:6]  # job b fails and is never resubmitted
+        slos = compute_slo(events, [])
+        assert "e2e" not in slos["fit"]
+        assert slos["fit"]["queue_wait"].snapshot()["count"] == 1
+
+    def test_histograms_use_fixed_slo_buckets(self):
+        slos = compute_slo(_events(), [])
+        hist = slos["sweep"]["queue_wait"]
+        assert tuple(hist.snapshot()["buckets"]) == SLO_BUCKETS
+
+
+class TestReporting:
+    def test_snapshot_shape(self):
+        snap = slo_snapshot(compute_slo(_events(), [
+            _execute_span("a", 101.25, 3.5)]))
+        assert set(snap) == {"sweep", "fit"}
+        for cell in snap["sweep"].values():
+            assert set(cell) == {"count", "p50", "p95", "p99", "mean", "max"}
+        assert set(snap["sweep"]) <= set(SLO_METRICS)
+
+    def test_render_lists_every_populated_metric(self):
+        text = render_slo_report(
+            compute_slo(_events(), [_execute_span("a", 101.25, 3.5)]),
+            title="drill SLOs")
+        assert text.startswith("drill SLOs")
+        for metric in SLO_METRICS:
+            assert metric in text
+
+    def test_render_empty(self):
+        assert "(no completed jobs to report)" in render_slo_report({})

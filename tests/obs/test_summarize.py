@@ -8,6 +8,7 @@ import pytest
 
 from repro.obs.summarize import (
     phase_rows,
+    read_jsonl_tolerant,
     read_trace,
     render_summary,
     summarize_file,
@@ -49,6 +50,46 @@ class TestReadTrace:
         records, malformed = read_trace(path)
         assert len(records) == 5
         assert malformed == 2
+
+
+class TestReadJsonlTolerant:
+    """A SIGKILL can tear the final line anywhere — even mid-UTF-8-byte."""
+
+    def test_torn_json_tail(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"ok": 1}) + "\n" + '{"ev": "sub')
+        records, malformed = read_jsonl_tolerant(path)
+        assert records == [{"ok": 1}]
+        assert malformed == 1
+
+    def test_tail_torn_mid_utf8_sequence(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps({"ok": 1}).encode() + b"\n"
+        torn = json.dumps({"msg": "café"}).encode()[:-3]  # split é
+        path.write_bytes(good + torn)
+        records, malformed = read_jsonl_tolerant(path)
+        assert records == [{"ok": 1}]
+        assert malformed == 1
+
+    def test_non_dict_lines_counted(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('[1, 2]\n"str"\n{"ok": 1}\n\n')
+        records, malformed = read_jsonl_tolerant(path)
+        assert records == [{"ok": 1}]
+        assert malformed == 2  # blank lines are fine, non-dicts are not
+
+    def test_malformed_lines_increment_reader_counter(self, tmp_path):
+        from repro.obs import default_registry
+        path = tmp_path / "t.jsonl"
+        path.write_text("{torn\n")
+        read_jsonl_tolerant(path)
+        counters = default_registry().snapshot()
+        assert counters["obs.reader.malformed_lines"]["value"] == 1
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_bytes(b"")
+        assert read_jsonl_tolerant(path) == ([], 0)
 
 
 class TestSummarize:

@@ -115,6 +115,133 @@ class TestServiceProbes:
         assert "spool unreadable" in check.detail
 
 
+class TestObservabilityProbes:
+    def test_probes_present_and_healthy_when_unconfigured(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPOOL_DIR", raising=False)
+        monkeypatch.delenv("REPRO_STATUS_FILE", raising=False)
+        report = run_doctor()
+        names = [c.name for c in report.checks]
+        assert {"status-file", "shard-snapshots", "clock-skew"} <= set(names)
+        assert report.ok
+
+    def test_status_file_writable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STATUS_FILE",
+                           str(tmp_path / "svc" / "status.json"))
+        check = next(c for c in run_doctor().checks
+                     if c.name == "status-file")
+        assert check.passed
+        assert "writable" in check.detail
+
+    def test_status_file_unwritable_fails(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("not a directory")
+        monkeypatch.setenv("REPRO_STATUS_FILE",
+                           str(blocker / "sub" / "status.json"))
+        check = next(c for c in run_doctor().checks
+                     if c.name == "status-file")
+        assert not check.passed
+        assert "not writable" in check.detail
+
+    def _live_shard_spool(self, tmp_path):
+        from repro.service import JobSpool
+
+        root = tmp_path / "spool"
+        spool = JobSpool.ensure(root)
+        spool.heartbeat("w0")
+        return root, spool
+
+    def test_live_shard_without_snapshot_is_stale(self, tmp_path, monkeypatch):
+        root, _ = self._live_shard_spool(tmp_path)
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = next(c for c in run_doctor().checks
+                     if c.name == "shard-snapshots")
+        assert not check.passed
+        assert "no snapshot" in check.detail
+
+    def test_fresh_snapshot_passes(self, tmp_path, monkeypatch):
+        import json
+        import time
+
+        root, _ = self._live_shard_spool(tmp_path)
+        mdir = root / "metrics"
+        mdir.mkdir()
+        (mdir / "w0.json").write_text(json.dumps({"t": time.time()}))
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = next(c for c in run_doctor().checks
+                     if c.name == "shard-snapshots")
+        assert check.passed
+        assert "snapshots current" in check.detail
+
+    def test_snapshot_far_behind_heartbeat_fails(self, tmp_path, monkeypatch):
+        import json
+        import time
+
+        root, _ = self._live_shard_spool(tmp_path)
+        mdir = root / "metrics"
+        mdir.mkdir()
+        (mdir / "w0.json").write_text(json.dumps({"t": time.time() - 300.0}))
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = next(c for c in run_doctor().checks
+                     if c.name == "shard-snapshots")
+        assert not check.passed
+        assert "behind" in check.detail
+
+    def test_fresh_heartbeat_from_exited_shard_not_live(
+            self, tmp_path, monkeypatch):
+        """A just-drained service leaves recent heartbeats behind; a shard
+        whose process no longer exists must not be probed for staleness."""
+        import json
+
+        root, spool = self._live_shard_spool(tmp_path)
+        hb_path = root / "hb" / "w0.json"
+        hb = json.loads(hb_path.read_text())
+        hb["pid"] = 2 ** 22 + 1  # beyond linux's default pid_max
+        hb_path.write_text(json.dumps(hb))
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = next(c for c in run_doctor().checks
+                     if c.name == "shard-snapshots")
+        assert check.passed
+        assert "no live shards" in check.detail
+
+    def _skewed_spool(self, tmp_path, skew):
+        import json
+        import time
+
+        root = tmp_path / "spool"
+        obs = root / "obs"
+        obs.mkdir(parents=True)
+        now = time.time()
+        with open(root / "spool.jsonl", "w") as fh:
+            fh.write(json.dumps({"ev": "submit", "id": "j1", "t": now - 10,
+                                 "trace_id": "j1",
+                                 "spec": {"kind": "sweep"}}) + "\n")
+            fh.write(json.dumps({"ev": "lease", "id": "j1", "t": now,
+                                 "worker": "w0"}) + "\n")
+        (obs / "trace.w0.jsonl").write_text(json.dumps({
+            "schema": "repro-trace/1", "kind": "span", "span_id": 1,
+            "parent_id": None, "name": "job.execute",
+            "t_wall": now - skew, "t_start": 0.0, "duration_s": 1.0,
+            "status": "ok", "error": None, "trace_id": "j1", "attrs": {},
+        }) + "\n")
+        return root
+
+    def test_clock_skew_within_bounds_passes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPOOL_DIR",
+                           str(self._skewed_spool(tmp_path, skew=-0.5)))
+        check = next(c for c in run_doctor().checks if c.name == "clock-skew")
+        assert check.passed
+        assert "1 span/lease pair(s)" in check.detail
+
+    def test_execute_span_before_lease_fails(self, tmp_path, monkeypatch):
+        # span opens 2 minutes before the lease that dispatched it: the
+        # shard's clock disagrees with the submitter's beyond the bound
+        monkeypatch.setenv("REPRO_SPOOL_DIR",
+                           str(self._skewed_spool(tmp_path, skew=120.0)))
+        check = next(c for c in run_doctor().checks if c.name == "clock-skew")
+        assert not check.passed
+        assert "clocks disagree" in check.detail
+
+
 class TestDoctorCli:
     def test_exit_zero_when_healthy(self, capsys):
         assert main(["doctor"]) == 0
