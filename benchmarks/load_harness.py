@@ -1,0 +1,311 @@
+"""Load drill: hammer the live service, replay the trace, gate the SLOs.
+
+End-to-end exercise of the load-generation harness (``repro.loadgen``)
+against the real supervisor-backed job service, through the public CLI
+surface only — the way CI drives it:
+
+1. **Live run** — a ``repro serve`` daemon (2 workers, drain-on-idle) is
+   booted on a fresh spool and ``repro loadgen run`` drives a seeded
+   closed-loop phase-shifting workload into it, emitting the
+   ``repro-reqtrace/1`` request trace and the ``repro-loadreport/1``
+   client-observed report.
+2. **Bit-identical replay** — a second daemon on a second fresh spool
+   replays the recorded trace (``repro loadgen replay``). The trace the
+   replay re-emits must equal the original **byte for byte** (header
+   passthrough included): that is the determinism contract of
+   ``repro-reqtrace/1``.
+3. **Identical job results** — both spools must hold the same done job
+   set, and every job's cycle vector must be ``np.array_equal`` across
+   the two runs. A replay that changes results is not a replay.
+4. **Pinned outcome counts** — every request in both runs must land
+   ``done``: zero shed, zero timeouts, zero failures. The workload is
+   sized under the admission bound on purpose; sheds here mean the
+   pacing window or the spool admission logic regressed.
+5. **Latency-SLO envelope** — the client-observed report is gated
+   against pinned references: throughput may not fall below
+   ``PINNED["throughput_floor_rps"]`` and p99 end-to-end latency may not
+   exceed ``PINNED["p99_ceiling_s"]``. The envelopes are generous (CI
+   machines are noisy); a breach means requests sat un-drained for tens
+   of seconds, not that a percentile wobbled.
+
+Artifacts (run/replay traces, both load reports, ``BENCH_load.json``
+with the gate verdicts) are copied to ``benchmarks/results/`` for CI
+upload.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/load_harness.py [--out-dir PATH]
+
+Exit codes: 0 ok; 2 a drive step failed (serve/loadgen CLI errors);
+3 a determinism gate failed (trace bytes or job results differ, or
+outcome counts moved); 4 the latency-SLO envelope was breached.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - direct checkout execution
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The pinned workload. Changing any of these regenerates the scenario, so
+#: the pinned outcome counts below must be re-derived alongside.
+WORKLOAD_ARGS = (
+    "--workload", "phase_shift", "--pacing", "closed",
+    "--n-requests", "14", "--n-keys", "6", "--concurrency", "4",
+    "--n-phases", "2", "--seed", "20260808",
+    "--n-instructions", "1000000",
+)
+N_REQUESTS = 14
+
+#: Pinned references for the SLO gate (see module docstring). The outcome
+#: counts are exact; the throughput floor and p99 ceiling are envelopes
+#: (reference +/- epsilon collapsed to the failing direction) so scheduler
+#: noise on shared CI runners cannot flake the job, while a stalled or
+#: un-drained queue still fails it loudly.
+PINNED = {
+    "outcomes": {"done": N_REQUESTS, "failed": 0, "shed": 0, "timeout": 0},
+    "throughput_floor_rps": 0.2,
+    "p99_ceiling_s": 30.0,
+}
+
+SERVE_SEED = 7
+LOADGEN_TIMEOUT_S = 90.0
+SERVE_MAX_RUNTIME_S = 150.0
+SERVE_EXIT_WAIT_S = 60.0
+
+
+def _fail(msg: str, code: int) -> None:
+    print(f"load_harness: FAIL: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def _cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, "-m", "repro", *argv],
+                          capture_output=True, text=True)
+
+
+def _serve(spool: Path, log: Path) -> subprocess.Popen:
+    """Boot a drain-on-idle daemon on ``spool`` in the background.
+
+    The idle grace is the window the loadgen client has to get its first
+    submission in before the daemon decides the queue is staying empty.
+    Output goes to ``log`` (a pipe could fill and wedge the daemon).
+    """
+    log_fh = open(log, "w", encoding="utf-8")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--spool", str(spool),
+         "--workers", "2", "--lease-ttl", "5", "--heartbeat-timeout", "10",
+         "--drain-on-idle", "--idle-grace", "8",
+         "--max-runtime", str(SERVE_MAX_RUNTIME_S),
+         "--seed", str(SERVE_SEED)],
+        stdout=log_fh, stderr=subprocess.STDOUT)
+    log_fh.close()
+    return proc
+
+
+def _reap(daemon: subprocess.Popen, label: str, log: Path) -> None:
+    try:
+        rc = daemon.wait(timeout=SERVE_EXIT_WAIT_S)
+    except subprocess.TimeoutExpired:
+        daemon.kill()
+        daemon.wait()
+        _fail(f"{label} daemon did not drain to idle within "
+              f"{SERVE_EXIT_WAIT_S:.0f}s", 2)
+    if rc != 0:
+        _fail(f"{label} daemon exited rc={rc}: {log.read_text()[-2000:]}", 2)
+
+
+def _drive(label: str, spool: Path, loadgen_argv: list[str]) -> None:
+    """One serve+loadgen cycle; dies with exit 2 on any CLI failure."""
+    log = spool.parent / f"serve-{label}.log"
+    daemon = _serve(spool, log)
+    try:
+        p = _cli(*loadgen_argv)
+    except BaseException:
+        daemon.kill()
+        raise
+    if p.returncode != 0:
+        daemon.kill()
+        daemon.wait()
+        _fail(f"loadgen {label} rc={p.returncode}: {p.stderr}", 2)
+    _reap(daemon, label, log)
+    print(f"load_harness: {label} complete on {spool.name}")
+
+
+def _check_determinism(run_trace: Path, replay_trace: Path,
+                       run_doc: dict, replay_doc: dict,
+                       run_spool: Path, replay_spool: Path,
+                       notes: list[str]) -> list[str]:
+    from repro.service import JobSpool
+
+    failures: list[str] = []
+    if run_trace.read_bytes() == replay_trace.read_bytes():
+        notes.append("replayed trace is bit-identical to the recorded run")
+    else:
+        failures.append("replayed trace differs from the recorded run "
+                        "(repro-reqtrace/1 byte-identity broken)")
+
+    for label, doc in (("run", run_doc), ("replay", replay_doc)):
+        if doc["outcomes"] != PINNED["outcomes"]:
+            failures.append(
+                f"{label} outcomes {doc['outcomes']} != pinned "
+                f"{PINNED['outcomes']}")
+    if not failures:
+        notes.append(f"all {N_REQUESTS} requests done in both runs "
+                     "(zero shed/timeout/failed)")
+
+    run_jobs = JobSpool.open(run_spool).jobs()
+    replay_jobs = JobSpool.open(replay_spool).jobs()
+    run_done = {j for j, v in run_jobs.items() if v.state == "done"}
+    replay_done = {j for j, v in replay_jobs.items() if v.state == "done"}
+    if run_done != replay_done:
+        failures.append(
+            f"done job sets differ: run has {len(run_done)}, replay has "
+            f"{len(replay_done)}, symmetric difference "
+            f"{sorted(run_done ^ replay_done)[:4]}")
+    else:
+        run_store = JobSpool.open(run_spool)
+        replay_store = JobSpool.open(replay_spool)
+        diverged = [jid for jid in sorted(run_done)
+                    if not np.array_equal(
+                        np.asarray(run_store.result(jid)["cycles"]),
+                        np.asarray(replay_store.result(jid)["cycles"]))]
+        if diverged:
+            failures.append(
+                f"{len(diverged)} job result(s) differ between run and "
+                f"replay: {diverged[:4]}")
+        else:
+            notes.append(f"{len(run_done)} job results bit-identical "
+                         "between run and replay")
+    return failures
+
+
+def _check_slo(run_doc: dict, notes: list[str]) -> list[str]:
+    failures: list[str] = []
+    rps = run_doc["throughput_rps"]
+    p99 = run_doc["latency"]["p99"]
+    if rps < PINNED["throughput_floor_rps"]:
+        failures.append(
+            f"throughput {rps:.3f} rps below pinned floor "
+            f"{PINNED['throughput_floor_rps']} rps")
+    else:
+        notes.append(f"throughput {rps:.2f} rps (floor "
+                     f"{PINNED['throughput_floor_rps']})")
+    if p99 is None or p99 > PINNED["p99_ceiling_s"]:
+        failures.append(
+            f"client-observed p99 {p99} s above pinned ceiling "
+            f"{PINNED['p99_ceiling_s']} s")
+    else:
+        notes.append(f"client-observed p99 {p99:.2f} s (ceiling "
+                     f"{PINNED['p99_ceiling_s']})")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default=str(RESULTS_DIR), metavar="PATH",
+                        help="artifact directory (default benchmarks/results)")
+    parser.add_argument("--print-pins", action="store_true",
+                        help="print the pinned references as JSON and exit")
+    args = parser.parse_args(argv)
+    if args.print_pins:
+        print(json.dumps(PINNED, indent=2, sort_keys=True))
+        return 0
+
+    from repro.loadgen import read_report
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    with tempfile.TemporaryDirectory(prefix="repro-load-") as tmp:
+        work = Path(tmp)
+        run_spool = work / "spool-run"
+        replay_spool = work / "spool-replay"
+        run_trace = work / "run_trace.jsonl"
+        replay_trace = work / "replay_trace.jsonl"
+        run_report = work / "run_report.json"
+        replay_report = work / "replay_report.json"
+
+        t0 = time.monotonic()
+        _drive("run", run_spool, [
+            "loadgen", "run", *WORKLOAD_ARGS,
+            "--spool", str(run_spool), "--timeout", str(LOADGEN_TIMEOUT_S),
+            "--trace-out", str(run_trace), "--report-out", str(run_report)])
+        _drive("replay", replay_spool, [
+            "loadgen", "replay", str(run_trace),
+            "--spool", str(replay_spool),
+            "--timeout", str(LOADGEN_TIMEOUT_S),
+            "--trace-out", str(replay_trace),
+            "--report-out", str(replay_report)])
+        wall_s = time.monotonic() - t0
+
+        run_doc = read_report(run_report)
+        replay_doc = read_report(replay_report)
+        notes: list[str] = []
+        det_failures = _check_determinism(
+            run_trace, replay_trace, run_doc, replay_doc,
+            run_spool, replay_spool, notes)
+        slo_failures = _check_slo(run_doc, notes)
+
+        report = {
+            "schema": "repro-bench-load/1",
+            "workload": run_doc.get("workload"),
+            "pinned": PINNED,
+            "run": {
+                "throughput_rps": run_doc["throughput_rps"],
+                "latency": run_doc["latency"],
+                "outcomes": run_doc["outcomes"],
+                "wall_s": run_doc["wall_s"],
+            },
+            "replay": {
+                "throughput_rps": replay_doc["throughput_rps"],
+                "latency": replay_doc["latency"],
+                "outcomes": replay_doc["outcomes"],
+                "wall_s": replay_doc["wall_s"],
+            },
+            "harness_wall_s": round(wall_s, 2),
+            "checks": {
+                "failures": det_failures + slo_failures,
+                "notes": notes,
+            },
+            "unix_time": time.time(),
+        }
+        (out_dir / "BENCH_load.json").write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        for src, name in ((run_trace, "BENCH_load_trace.jsonl"),
+                          (replay_trace, "BENCH_load_replay_trace.jsonl"),
+                          (run_report, "BENCH_load_report.json"),
+                          (replay_report, "BENCH_load_replay_report.json")):
+            shutil.copy(src, out_dir / name)
+
+    for note in notes:
+        print(f"load_harness: {note}")
+    print(f"load_harness: report -> {out_dir / 'BENCH_load.json'}")
+    if det_failures:
+        for failure in det_failures + slo_failures:
+            print(f"load_harness: FAIL: {failure}", file=sys.stderr)
+        return 3
+    if slo_failures:
+        for failure in slo_failures:
+            print(f"load_harness: FAIL: {failure}", file=sys.stderr)
+        return 4
+    print("load_harness: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

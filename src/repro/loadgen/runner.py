@@ -1,0 +1,266 @@
+"""The load runner: pace a request stream into a target, record outcomes.
+
+The runner is deliberately ignorant of *what* it is hammering. A target is
+anything with two methods:
+
+``issue(spec) -> token``
+    Admit one job; return an opaque completion token (the service uses the
+    content-fingerprint job id, so duplicate specs share a token — dedup
+    is the target's business, not the runner's). Raising
+    :class:`~repro.errors.ServiceOverloadError` means the request was
+    *shed*: the runner records the outcome and moves on, because load
+    shedding under overload is service behaviour worth measuring, not a
+    harness failure.
+
+``completed(tokens) -> {token: (state, error_type)}``
+    Non-blocking poll: which of these tokens are terminal right now?
+    ``state`` is ``"done"`` or ``"failed"``.
+
+Three targets ship: :class:`ServiceTarget` (a live or daemonless spool —
+the real thing), :class:`LibraryTarget` (synchronous in-process execution
+through the library entry points, for service-less runs), and
+:class:`~repro.loadgen.sim.SimTarget` (deterministic model, for golden
+pins). Pacing is one loop for both disciplines: a request is issued once
+its planned ``t_offset`` has passed (open loop) *and* the concurrency
+window has room (closed loop; open loop passes ``concurrency=None``).
+
+Time is injectable (``clock``/``sleep``) so the identical code path runs
+against the wall clock in benchmarks and against
+:class:`~repro.loadgen.sim.VirtualClock` in deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ReproError, ServiceOverloadError
+from repro.service.jobs import JobSpec, job_id
+from repro.service.spool import JobSpool
+from repro.loadgen.workloads import Request, WorkloadSpec, build_requests
+
+__all__ = [
+    "OUTCOMES",
+    "LibraryTarget",
+    "LoadResult",
+    "RequestOutcome",
+    "ServiceTarget",
+    "run_requests",
+    "run_workload",
+]
+
+#: Terminal request outcomes, in reporting order.
+OUTCOMES = ("done", "failed", "shed", "timeout")
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one planned request, in run-relative time."""
+
+    i: int                    # the request's trace index
+    key: str
+    token: str | None         # completion token; None when shed
+    outcome: str              # one of OUTCOMES
+    error_type: str | None
+    t_issue: float            # seconds from run start at issue (or shed)
+    latency: float | None     # issue -> observed completion; None if not done/failed
+
+
+@dataclass
+class LoadResult:
+    """One run's outcomes plus its wall-clock envelope."""
+
+    outcomes: list[RequestOutcome]
+    wall_s: float
+
+    def counts(self) -> dict[str, int]:
+        out = {name: 0 for name in OUTCOMES}
+        for o in self.outcomes:
+            out[o.outcome] = out.get(o.outcome, 0) + 1
+        return out
+
+    def latencies(self) -> list[float]:
+        """Client-observed latencies of completed (done) requests."""
+        return [o.latency for o in self.outcomes
+                if o.outcome == "done" and o.latency is not None]
+
+
+class ServiceTarget:
+    """The real service: submit into a spool, poll its event-log fold.
+
+    Works identically against a live supervisor-backed daemon (workers
+    drain the queue while we poll) and a bare spool that something else —
+    ``drain_queue``, a later daemon — will service. ``deadline_s`` rides
+    along on every submission.
+    """
+
+    def __init__(self, root: str, deadline_s: float | None = None) -> None:
+        self.spool = JobSpool.ensure(root)
+        self.deadline_s = deadline_s
+
+    def issue(self, spec: JobSpec) -> str:
+        return self.spool.submit(spec, deadline_s=self.deadline_s)
+
+    def completed(self, tokens: list[str]) -> dict[str, tuple[str, str | None]]:
+        from repro.service.client import poll_jobs
+
+        out: dict[str, tuple[str, str | None]] = {}
+        for token, v in poll_jobs(self.spool, tokens).items():
+            if v.state == "done":
+                out[token] = ("done", None)
+            elif v.state == "failed":
+                out[token] = ("failed", v.error_type)
+        return out
+
+
+class LibraryTarget:
+    """Service-less target: execute each job synchronously, in process.
+
+    ``issue`` runs the sweep through the library entry points and caches
+    the outcome by content fingerprint (same dedup contract as the spool),
+    so a hot-set workload measures the cache exactly as the service would.
+    Failures become recorded outcomes, never harness exceptions.
+    """
+
+    def __init__(self) -> None:
+        self._done: dict[str, tuple[str, str | None]] = {}
+        self.n_executed = 0
+        self.n_deduped = 0
+
+    def issue(self, spec: JobSpec) -> str:
+        token = job_id(spec)
+        if token in self._done:
+            self.n_deduped += 1
+            return token
+        try:
+            self._execute(spec)
+        except Exception as exc:  # typed failure -> recorded outcome
+            self._done[token] = ("failed", type(exc).__name__)
+        else:
+            self._done[token] = ("done", None)
+        return token
+
+    def _execute(self, spec: JobSpec) -> Any:
+        if spec.kind != "sweep":
+            raise ReproError(
+                f"library target executes sweep jobs only, got {spec.kind!r} "
+                "(run fit jobs through a service spool)")
+        from repro.simulator import (
+            enumerate_design_space,
+            get_profile,
+            sweep_design_space,
+        )
+
+        self.n_executed += 1
+        configs = list(enumerate_design_space())[spec.start:spec.stop]
+        return sweep_design_space(configs, get_profile(spec.app),
+                                  n_instructions=spec.n_instructions,
+                                  cache=True)
+
+    def completed(self, tokens: list[str]) -> dict[str, tuple[str, str | None]]:
+        return {t: self._done[t] for t in tokens if t in self._done}
+
+
+@dataclass
+class _Pending:
+    """Requests awaiting one token's completion (dedup'd share a token)."""
+
+    entries: list[tuple[int, Request, float]] = field(default_factory=list)
+
+
+def run_requests(requests: list[Request], target: Any, *,
+                 concurrency: int | None = None,
+                 timeout_s: float = 120.0,
+                 poll: float = 0.02,
+                 time_scale: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> LoadResult:
+    """Issue ``requests`` against ``target`` and observe every outcome.
+
+    ``concurrency=None`` runs open loop: arrivals honour each request's
+    planned ``t_offset`` (scaled by ``time_scale``) with unbounded
+    in-flight. An integer runs closed loop: at most that many requests in
+    flight, the next issued the moment a slot frees. Every request ends in
+    exactly one of :data:`OUTCOMES`; a token quiet past ``timeout_s``
+    times out rather than hanging the run.
+    """
+    if concurrency is not None and concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if timeout_s <= 0:
+        raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+    t0 = clock()
+    outcomes: list[RequestOutcome | None] = [None] * len(requests)
+    pending: dict[str, _Pending] = {}
+    next_up = 0
+
+    def in_flight() -> int:
+        return sum(len(p.entries) for p in pending.values())
+
+    while next_up < len(requests) or pending:
+        progressed = False
+        now = clock()
+        # Issue every request whose arrival has come and whose slot exists.
+        while next_up < len(requests):
+            if concurrency is not None and in_flight() >= concurrency:
+                break
+            req = requests[next_up]
+            if req.t_offset * time_scale > now - t0:
+                break
+            next_up += 1
+            progressed = True
+            try:
+                token = target.issue(req.spec)
+            except ServiceOverloadError as exc:
+                outcomes[next_up - 1] = RequestOutcome(
+                    i=req.i, key=req.key, token=None, outcome="shed",
+                    error_type=type(exc).__name__,
+                    t_issue=now - t0, latency=None)
+                continue
+            pending.setdefault(token, _Pending()).entries.append(
+                (next_up - 1, req, now))
+        # Collect completions for everything still in flight.
+        if pending:
+            terminal = target.completed(list(pending))
+            if terminal:
+                progressed = True
+                now = clock()
+                for token, (state, error_type) in terminal.items():
+                    for idx, req, t_issue in pending.pop(token).entries:
+                        outcomes[idx] = RequestOutcome(
+                            i=req.i, key=req.key, token=token,
+                            outcome="done" if state == "done" else "failed",
+                            error_type=error_type,
+                            t_issue=t_issue - t0, latency=now - t_issue)
+        # Expire requests whose token has been quiet too long.
+        now = clock()
+        for token in list(pending):
+            waiting = pending[token].entries
+            live = [(i, r, t) for i, r, t in waiting if now - t <= timeout_s]
+            for idx, req, t_issue in waiting:
+                if now - t_issue > timeout_s:
+                    progressed = True
+                    outcomes[idx] = RequestOutcome(
+                        i=req.i, key=req.key, token=token, outcome="timeout",
+                        error_type=None, t_issue=t_issue - t0,
+                        latency=now - t_issue)
+            if live:
+                pending[token].entries = live
+            else:
+                del pending[token]
+        if not progressed:
+            sleep(poll)
+    return LoadResult(outcomes=[o for o in outcomes if o is not None],
+                      wall_s=clock() - t0)
+
+
+def run_workload(wl: WorkloadSpec, target: Any, **kwargs: Any) -> LoadResult:
+    """Generate ``wl``'s request stream and run it with its own pacing.
+
+    Closed-loop specs supply their concurrency window; open-loop specs run
+    unbounded on their Poisson schedule. Keyword arguments pass through to
+    :func:`run_requests` (notably ``clock``/``sleep``/``time_scale``).
+    """
+    kwargs.setdefault(
+        "concurrency", wl.concurrency if wl.pacing == "closed" else None)
+    return run_requests(build_requests(wl), target, **kwargs)

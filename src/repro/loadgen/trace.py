@@ -1,0 +1,212 @@
+"""The ``repro-reqtrace/1`` request trace: record once, replay bit-identically.
+
+A request trace is the durable form of one workload's request stream —
+JSONL, one object per line, keys sorted, so the same stream always
+serializes to the same bytes. Line one is a ``header`` record carrying
+provenance (the generating :class:`~repro.loadgen.workloads.WorkloadSpec`,
+or the spool a recording came from); every following line is one ``req``
+record::
+
+    {"i": 0, "key": "k000003", "kind": "req", "schema": "repro-reqtrace/1",
+     "spec": {...JobSpec...}, "t_offset": 0.0}
+
+Nothing wall-clock-dependent is ever written here — planned offsets yes,
+observed timestamps no — which is the determinism contract: replaying a
+trace and re-emitting it produces the identical file, byte for byte
+(DESIGN §14). Observed latencies live in the load *report*, not the trace.
+
+Reading is torn-tail tolerant via the shared bytes-level reader
+(:func:`repro.obs.summarize.read_jsonl_tolerant`): a recording client that
+died mid-append tears its final line, and that tear is a counted skip
+(``obs.reader.malformed_lines``), never an exception.
+
+Recording real traffic: :func:`requests_from_spool` turns a live (or
+long-dead) service spool's ``submit`` events into a replayable trace —
+arrival offsets are rebased to the first submission, specs come straight
+from the logged events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ReproError
+from repro.obs.summarize import read_jsonl_tolerant
+from repro.service.jobs import JobSpec
+from repro.loadgen.workloads import Request, WorkloadSpec
+
+__all__ = [
+    "REQTRACE_SCHEMA",
+    "read_reqtrace",
+    "requests_from_spool",
+    "validate_reqtrace_record",
+    "write_reqtrace",
+]
+
+REQTRACE_SCHEMA = "repro-reqtrace/1"
+
+#: Field name -> allowed types for ``req`` records.
+_REQ_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema": (str,),
+    "kind": (str,),
+    "i": (int,),
+    "key": (str,),
+    "t_offset": (float, int),
+    "spec": (dict,),
+}
+
+
+def validate_reqtrace_record(record: Any) -> dict[str, Any]:
+    """Check one parsed trace line against the schema; return it or raise."""
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"reqtrace record must be an object, got {type(record).__name__}")
+    if record.get("schema") != REQTRACE_SCHEMA:
+        raise ValueError(f"unknown reqtrace schema {record.get('schema')!r}")
+    kind = record.get("kind")
+    if kind == "header":
+        if not isinstance(record.get("source"), str):
+            raise ValueError("reqtrace header missing its source")
+        return record
+    if kind != "req":
+        raise ValueError(f"reqtrace kind must be header|req, got {kind!r}")
+    for field, types in _REQ_FIELDS.items():
+        if field not in record:
+            raise ValueError(f"reqtrace record missing field {field!r}")
+        if not isinstance(record[field], types) or isinstance(record[field], bool):
+            raise ValueError(
+                f"reqtrace field {field!r} has type "
+                f"{type(record[field]).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}")
+    if record["i"] < 0:
+        raise ValueError(f"reqtrace index must be >= 0, got {record['i']}")
+    if record["t_offset"] < 0:
+        raise ValueError(
+            f"reqtrace t_offset must be >= 0, got {record['t_offset']}")
+    return record
+
+
+def _header(source: str, workload: WorkloadSpec | dict | None,
+            n_requests: int) -> dict[str, Any]:
+    doc: dict[str, Any] = {
+        "schema": REQTRACE_SCHEMA,
+        "kind": "header",
+        "source": source,
+        "n_requests": int(n_requests),
+        "workload": None,
+    }
+    if workload is not None:
+        doc["workload"] = (workload.as_dict()
+                           if isinstance(workload, WorkloadSpec) else workload)
+    return doc
+
+
+def write_reqtrace(path: str | os.PathLike[str], requests: Iterable[Request],
+                   *, workload: WorkloadSpec | None = None,
+                   source: str = "workload",
+                   header: dict[str, Any] | None = None) -> Path:
+    """Write a request stream as a deterministic ``repro-reqtrace/1`` file.
+
+    Pass ``header=`` (a previously read header) to carry provenance through
+    a replay unchanged — that is what makes a replay's re-emitted trace
+    bit-identical to its input, provenance line included.
+    """
+    requests = list(requests)
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    head = header if header is not None else _header(source, workload,
+                                                     len(requests))
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(head, sort_keys=True) + "\n")
+        for req in requests:
+            fh.write(json.dumps({
+                "schema": REQTRACE_SCHEMA,
+                "kind": "req",
+                "i": req.i,
+                "key": req.key,
+                "t_offset": req.t_offset,
+                "spec": req.spec.as_dict(),
+            }, sort_keys=True) + "\n")
+    return out
+
+
+def read_reqtrace(path: str | os.PathLike[str],
+                  ) -> tuple[list[Request], dict[str, Any] | None, int]:
+    """Read a trace back into requests: ``(requests, header, n_malformed)``.
+
+    Torn or schema-invalid lines are counted (and mirrored into
+    ``obs.reader.malformed_lines`` by the shared reader), never fatal —
+    a report over a torn trace must still render. Requests come back in
+    recorded order regardless of their ``i`` values; replay preserves the
+    stream as recorded.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise ReproError(f"no request trace at {p}")
+    parsed, malformed = read_jsonl_tolerant(p)
+    header: dict[str, Any] | None = None
+    requests: list[Request] = []
+    for rec in parsed:
+        try:
+            rec = validate_reqtrace_record(rec)
+        except ValueError:
+            malformed += 1
+            continue
+        if rec["kind"] == "header":
+            if header is None:
+                header = rec
+            continue
+        try:
+            spec = JobSpec.from_dict(rec["spec"])
+        except (TypeError, ValueError):
+            malformed += 1
+            continue
+        requests.append(Request(i=int(rec["i"]), key=rec["key"],
+                                t_offset=float(rec["t_offset"]), spec=spec))
+    return requests, header, malformed
+
+
+def requests_from_spool(spool_root: str | os.PathLike[str],
+                        ) -> tuple[list[Request], int]:
+    """Recover a replayable request stream from a spool's ``submit`` events.
+
+    Every ``submit`` event becomes one request whose ``t_offset`` is its
+    wall-clock distance from the first submission (clamped at zero against
+    clock oddities) — real recorded traffic, replayable through any target.
+    Events without a spec or timestamp, and torn lines, are counted as
+    malformed rather than fatal; pre-plane events (no ``t``) arrive at
+    offset 0 so ancient spools still replay.
+    """
+    from repro.errors import ServiceError
+    from repro.obs.aggregate import read_spool_events
+
+    if not Path(spool_root).is_dir():
+        raise ServiceError(f"no spool directory at {spool_root}")
+    events, malformed = read_spool_events(spool_root)
+    t0: float | None = None
+    requests: list[Request] = []
+    for ev in events:
+        if ev.get("ev") != "submit":
+            continue
+        spec_doc = ev.get("spec")
+        if not isinstance(spec_doc, dict):
+            malformed += 1
+            continue
+        try:
+            spec = JobSpec.from_dict(spec_doc)
+        except (TypeError, ValueError):
+            malformed += 1
+            continue
+        t = ev.get("t")
+        if t0 is None and t is not None:
+            t0 = float(t)
+        offset = max(0.0, float(t) - t0) if t is not None and t0 is not None \
+            else 0.0
+        jid = str(ev.get("id") or "")
+        requests.append(Request(
+            i=len(requests), key=f"job:{jid[:12]}" if jid else "job:?",
+            t_offset=offset, spec=spec))
+    return requests, malformed

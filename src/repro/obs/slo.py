@@ -90,7 +90,12 @@ def fold_job_timings(events: Iterable[dict]) -> dict[str, JobTimings]:
                     trace_id=str(ev.get("trace_id") or jid),
                     submit_t=ev.get("t"))
             elif jt.terminal == "fail":
-                jt.submit_t = ev.get("t", jt.submit_t)
+                # Resubmission restarts the submission clock (PR 5 resubmit
+                # semantics). A pre-plane resubmit event (no ``t``) must
+                # clear the old timestamp, not inherit it: measuring the new
+                # attempt's queue_wait from the *original* submission would
+                # charge it the entire failed first attempt.
+                jt.submit_t = ev.get("t")
                 jt.lease_ts.clear()
                 jt.terminal = jt.terminal_t = None
         elif jt is None:

@@ -25,6 +25,7 @@ from repro.service.client import (
     JobFailed,
     format_jobs,
     list_jobs,
+    poll_jobs,
     submit_job,
     wait_for,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "format_jobs",
     "job_id",
     "list_jobs",
+    "poll_jobs",
     "submit_job",
     "wait_for",
     "worker_main",

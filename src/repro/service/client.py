@@ -26,7 +26,8 @@ from repro.errors import ServiceError, exit_code_for
 from repro.service.jobs import JobSpec, JobView
 from repro.service.spool import JobSpool
 
-__all__ = ["submit_job", "wait_for", "list_jobs", "format_jobs", "JobFailed"]
+__all__ = ["submit_job", "wait_for", "poll_jobs", "list_jobs", "format_jobs",
+           "JobFailed"]
 
 
 class JobFailed(ServiceError):
@@ -85,6 +86,19 @@ def wait_for(root: str | JobSpool, jid: str, timeout: float = 60.0,
                 f"timed out after {timeout:g}s waiting for job {jid[:12]} "
                 f"(state {view.state!r}, {view.n_leases} lease(s))")
         time.sleep(poll)
+
+
+def poll_jobs(root: str | JobSpool, jids: list[str]) -> dict[str, JobView]:
+    """Non-blocking bulk poll: current views for ``jids``, one log fold.
+
+    The load runner (and anything else watching many jobs at once) calls
+    this instead of ``wait_for`` per job — one fold of the event log per
+    poll instead of one per job per poll. Unknown ids are simply absent
+    from the result; nothing blocks, nothing raises on a pending queue.
+    """
+    spool = root if isinstance(root, JobSpool) else JobSpool.open(root)
+    views = spool.jobs()
+    return {jid: views[jid] for jid in jids if jid in views}
 
 
 def list_jobs(root: str | JobSpool) -> list[JobView]:

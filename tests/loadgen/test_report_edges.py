@@ -1,0 +1,126 @@
+"""Load-report edge cases: empty runs, total shed, torn traces.
+
+The report path is needed most when a run went badly, so the worst runs —
+nothing completed, everything shed at admission, a trace torn mid-append —
+must all still produce a rendered report and honest counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.loadgen import (
+    LOADREPORT_SCHEMA,
+    LoadResult,
+    ServiceTarget,
+    SimTarget,
+    VirtualClock,
+    build_report,
+    build_requests,
+    read_report,
+    read_reqtrace,
+    render_report,
+    run_requests,
+    write_report,
+    write_reqtrace,
+    WorkloadSpec,
+    SpecCatalog,
+)
+from repro.obs.metrics import default_registry, reset_default_registry
+from repro.service import JobSpool, SpoolConfig
+
+
+class TestZeroCompleted:
+    def test_empty_run_reports_without_raising(self):
+        doc = build_report(LoadResult(outcomes=[], wall_s=0.0))
+        assert doc["schema"] == LOADREPORT_SCHEMA
+        assert doc["n_requests"] == 0
+        assert doc["throughput_rps"] == 0.0
+        assert doc["latency"]["count"] == 0
+        assert doc["latency"]["max"] is None
+        text = render_report(doc)
+        assert "(no completed requests)" in text
+
+    def test_timeout_only_run_reports_without_raising(self):
+        clock = VirtualClock()
+        target = SimTarget(clock=clock, base_latency=100.0, jitter=0.0)
+        wl = WorkloadSpec(workload="static", n_requests=4, n_keys=4, seed=1)
+        result = run_requests(build_requests(wl), target, timeout_s=1.0,
+                              poll=0.5, clock=clock, sleep=clock.sleep)
+        doc = build_report(result, workload=wl)
+        assert doc["outcomes"]["timeout"] == 4
+        assert doc["outcomes"]["done"] == 0
+        assert doc["latency"]["count"] == 0
+        assert "(no completed requests)" in render_report(doc)
+
+
+class TestTotalShed:
+    def test_hundred_percent_shed_under_max_depth(self, tmp_path):
+        # A spool pre-filled to its admission bound with nothing draining
+        # it: every loadgen submission must shed, and the report must say
+        # exactly that.
+        root = tmp_path / "spool"
+        spool = JobSpool.ensure(root, SpoolConfig(max_depth=3))
+        catalog = SpecCatalog()
+        for i in range(100, 103):  # occupy the whole queue
+            spool.submit(catalog.spec(i))
+        target = ServiceTarget(str(root))
+        wl = WorkloadSpec(workload="static", n_requests=6, n_keys=4, seed=3)
+        result = run_requests(build_requests(wl, catalog), target,
+                              timeout_s=5.0)
+        counts = result.counts()
+        assert counts["shed"] == 6 and counts["done"] == 0
+        doc = build_report(result, workload=wl)
+        assert doc["outcomes"]["shed"] == 6
+        assert doc["errors"] == {"ServiceOverloadError": 6}
+        assert doc["throughput_rps"] == 0.0
+        text = render_report(doc)
+        assert "ServiceOverloadError" in text
+        assert "(no completed requests)" in text
+
+
+class TestTornTraceReplay:
+    def test_replay_of_torn_trace_reports_and_counts_the_tear(self, tmp_path):
+        reset_default_registry()
+        wl = WorkloadSpec(workload="static", n_requests=5, n_keys=3, seed=4)
+        path = write_reqtrace(tmp_path / "t.jsonl", build_requests(wl),
+                              workload=wl)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "repro-reqtrace/1", "kind": "r')  # torn
+        requests, _, malformed = read_reqtrace(path)
+        assert malformed == 1
+        clock = VirtualClock()
+        target = SimTarget(clock=clock)
+        result = run_requests(requests, target, clock=clock,
+                              sleep=clock.sleep)
+        doc = build_report(result, workload=wl, source="replay",
+                           malformed_lines=malformed)
+        assert doc["malformed_lines"] == 1
+        assert doc["outcomes"]["done"] == 5
+        text = render_report(doc)
+        assert "malformed_lines" in text
+        counter = default_registry().get("obs.reader.malformed_lines")
+        assert counter is not None and counter.value >= 1
+
+
+class TestReportIO:
+    def test_report_round_trips_through_disk(self, tmp_path):
+        doc = build_report(LoadResult(outcomes=[], wall_s=1.0),
+                           source="run")
+        path = write_report(tmp_path / "r.json", doc)
+        assert read_report(path) == doc
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps({"schema": "repro-metrics/1"}))
+        with pytest.raises(ReproError, match="repro-loadreport/1"):
+            read_report(path)
+
+    def test_unreadable_report_rejected(self, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="unreadable"):
+            read_report(path)

@@ -1,0 +1,167 @@
+"""The repro-reqtrace/1 trace: schema, byte-identity, torn tails, recording."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError, ServiceError
+from repro.loadgen import (
+    REQTRACE_SCHEMA,
+    WorkloadSpec,
+    build_requests,
+    read_reqtrace,
+    requests_from_spool,
+    validate_reqtrace_record,
+    write_reqtrace,
+)
+from repro.obs.metrics import default_registry, reset_default_registry
+from repro.service import JobSpec, JobSpool
+
+
+@pytest.fixture
+def wl():
+    return WorkloadSpec(workload="phase_shift", pacing="open", n_requests=25,
+                        n_keys=8, seed=11, rate=40.0)
+
+
+class TestRoundTrip:
+    def test_requests_survive_the_round_trip(self, tmp_path, wl):
+        requests = build_requests(wl)
+        path = write_reqtrace(tmp_path / "t.jsonl", requests, workload=wl)
+        back, header, malformed = read_reqtrace(path)
+        assert back == requests
+        assert malformed == 0
+        assert header["source"] == "workload"
+        assert WorkloadSpec.from_dict(header["workload"]) == wl
+        assert header["n_requests"] == len(requests)
+
+    def test_write_is_byte_deterministic(self, tmp_path, wl):
+        requests = build_requests(wl)
+        a = write_reqtrace(tmp_path / "a.jsonl", requests, workload=wl)
+        b = write_reqtrace(tmp_path / "b.jsonl", requests, workload=wl)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_header_passthrough_makes_replay_bit_identical(self, tmp_path, wl):
+        requests = build_requests(wl)
+        original = write_reqtrace(tmp_path / "run.jsonl", requests,
+                                  workload=wl)
+        back, header, _ = read_reqtrace(original)
+        replayed = write_reqtrace(tmp_path / "replay.jsonl", back,
+                                  header=header)
+        assert original.read_bytes() == replayed.read_bytes()
+
+    def test_every_line_is_schema_stamped_and_sorted(self, tmp_path, wl):
+        path = write_reqtrace(tmp_path / "t.jsonl", build_requests(wl),
+                              workload=wl)
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert record["schema"] == REQTRACE_SCHEMA
+            assert list(record) == sorted(record)
+
+    def test_missing_file_raises_typed(self, tmp_path):
+        with pytest.raises(ReproError, match="no request trace"):
+            read_reqtrace(tmp_path / "absent.jsonl")
+
+
+class TestValidation:
+    def _req(self, **overrides):
+        record = {"schema": REQTRACE_SCHEMA, "kind": "req", "i": 0,
+                  "key": "k000000", "t_offset": 0.0,
+                  "spec": JobSpec(kind="sweep", app="gcc").as_dict()}
+        record.update(overrides)
+        return record
+
+    def test_valid_record_passes(self):
+        assert validate_reqtrace_record(self._req())["kind"] == "req"
+
+    @pytest.mark.parametrize("mutate", [
+        {"schema": "repro-reqtrace/999"},
+        {"kind": "mystery"},
+        {"i": -1},
+        {"t_offset": -0.5},
+        {"i": "zero"},
+        {"spec": "not-a-dict"},
+        {"i": True},
+    ])
+    def test_bad_records_rejected(self, mutate):
+        with pytest.raises(ValueError):
+            validate_reqtrace_record(self._req(**mutate))
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError):
+            validate_reqtrace_record(["not", "a", "record"])
+
+    def test_header_needs_a_source(self):
+        with pytest.raises(ValueError, match="source"):
+            validate_reqtrace_record(
+                {"schema": REQTRACE_SCHEMA, "kind": "header"})
+
+
+class TestTornTail:
+    def test_torn_final_line_counted_not_fatal(self, tmp_path, wl):
+        reset_default_registry()
+        requests = build_requests(wl)
+        path = write_reqtrace(tmp_path / "t.jsonl", requests, workload=wl)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": "repro-reqtrace/1", "kind": "req", "i":')
+        back, _, malformed = read_reqtrace(path)
+        assert back == requests
+        assert malformed == 1
+        counter = default_registry().get("obs.reader.malformed_lines")
+        assert counter is not None and counter.value >= 1
+
+    def test_invalid_schema_line_counted_as_malformed(self, tmp_path, wl):
+        requests = build_requests(wl)
+        path = write_reqtrace(tmp_path / "t.jsonl", requests, workload=wl)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"schema": "other/1", "kind": "req"}) + "\n")
+        back, _, malformed = read_reqtrace(path)
+        assert back == requests
+        assert malformed == 1
+
+    def test_unparseable_spec_counted_as_malformed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [
+            {"schema": REQTRACE_SCHEMA, "kind": "header", "source": "x",
+             "n_requests": 1, "workload": None},
+            {"schema": REQTRACE_SCHEMA, "kind": "req", "i": 0,
+             "key": "k000000", "t_offset": 0.0,
+             "spec": {"kind": "nonsense-kind"}},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in lines))
+        back, header, malformed = read_reqtrace(path)
+        assert back == []
+        assert header is not None
+        assert malformed == 1
+
+
+class TestRecordFromSpool:
+    def test_submit_events_become_replayable_requests(self, tmp_path):
+        spool = JobSpool.ensure(tmp_path / "spool")
+        specs = [JobSpec(kind="sweep", app="gcc", start=0, stop=4),
+                 JobSpec(kind="sweep", app="mcf", start=4, stop=8)]
+        jids = [spool.submit(s) for s in specs]
+        requests, malformed = requests_from_spool(spool.root)
+        assert malformed == 0
+        assert [r.spec for r in requests] == specs
+        assert [r.i for r in requests] == [0, 1]
+        assert requests[0].t_offset == 0.0
+        assert requests[1].t_offset >= 0.0
+        assert all(r.key == f"job:{j[:12]}" for r, j in zip(requests, jids))
+        # The recording round-trips through the trace format.
+        path = write_reqtrace(tmp_path / "rec.jsonl", requests,
+                              source=f"spool:{spool.root}")
+        back, header, _ = read_reqtrace(path)
+        assert back == requests
+        assert header["source"].startswith("spool:")
+
+    def test_empty_spool_records_nothing(self, tmp_path):
+        spool = JobSpool.ensure(tmp_path / "spool")
+        requests, malformed = requests_from_spool(spool.root)
+        assert requests == [] and malformed == 0
+
+    def test_missing_spool_raises_typed(self, tmp_path):
+        with pytest.raises(ServiceError):
+            requests_from_spool(tmp_path / "absent")

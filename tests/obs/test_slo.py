@@ -54,6 +54,23 @@ class TestFoldJobTimings:
         assert b.lease_ts == [203.0]  # pre-fail lease cleared
         assert (b.terminal, b.terminal_t) == ("done", 210.0)
 
+    def test_pre_plane_resubmit_clears_the_old_clock(self):
+        # A resubmit event written before the observability plane carries no
+        # ``t``. It must RESET submit_t to None, not inherit the original
+        # submission's timestamp: the new attempt's queue_wait measured from
+        # the old clock would be charged the whole failed first attempt.
+        jobs = fold_job_timings([
+            {"ev": "submit", "id": "b", "t": 100.0, "spec": {"kind": "fit"}},
+            {"ev": "lease", "id": "b", "t": 102.0, "worker": "w1"},
+            {"ev": "fail", "id": "b", "t": 103.0, "worker": "w1"},
+            {"ev": "submit", "id": "b", "spec": {"kind": "fit"}},  # no t
+            {"ev": "lease", "id": "b", "t": 203.0, "worker": "w0"},
+            {"ev": "done", "id": "b", "t": 210.0, "worker": "w0"},
+        ])
+        assert jobs["b"].submit_t is None
+        assert jobs["b"].lease_ts == [203.0]
+        assert jobs["b"].terminal == "done"
+
     def test_first_terminal_wins(self):
         jobs = fold_job_timings([
             {"ev": "submit", "id": "a", "t": 1.0},
@@ -113,6 +130,22 @@ class TestComputeSlo:
         slos = compute_slo(events, [])
         assert "e2e" not in slos["fit"]
         assert slos["fit"]["queue_wait"].snapshot()["count"] == 1
+
+    def test_pre_plane_resubmit_contributes_no_latency_samples(self):
+        # With submit_t reset to None by an untimestamped resubmit, the
+        # later timestamped lease/done must not manufacture queue_wait or
+        # e2e samples against the long-gone original submission.
+        events = [
+            {"ev": "submit", "id": "b", "t": 100.0, "spec": {"kind": "fit"}},
+            {"ev": "lease", "id": "b", "t": 102.0, "worker": "w1"},
+            {"ev": "fail", "id": "b", "t": 103.0, "worker": "w1"},
+            {"ev": "submit", "id": "b", "spec": {"kind": "fit"}},  # no t
+            {"ev": "lease", "id": "b", "t": 203.0, "worker": "w0"},
+            {"ev": "done", "id": "b", "t": 210.0, "worker": "w0"},
+        ]
+        slos = compute_slo(events, [])
+        assert "queue_wait" not in slos.get("fit", {})
+        assert "e2e" not in slos.get("fit", {})
 
     def test_histograms_use_fixed_slo_buckets(self):
         slos = compute_slo(_events(), [])
