@@ -81,8 +81,20 @@ class DiskStore:
         except OSError:  # noqa: S110  # pragma: no cover - already gone / read-only store
             pass
 
-    def put(self, key: str, value: Any) -> None:
-        """Atomically persist ``value``; I/O failure degrades to not-cached."""
+    def put(self, key: str, value: Any) -> bool:
+        """Atomically persist ``value``; returns whether the entry landed.
+
+        I/O failure degrades to not-cached (False) — callers for whom the
+        write is load-bearing (the job spool's result store) check the
+        return and turn False into a typed error; cache tiers ignore it.
+        The write path is tmp file -> fsync -> rename, all through the
+        :mod:`repro.robust.diskchaos` shim so chaos drills can fault each
+        step; without the fsync a post-rename crash could leave an empty
+        entry wearing a valid name (the checksum would catch it, but as a
+        silent miss of data the caller was told is durable).
+        """
+        from repro.robust import diskchaos as _fs
+
         path = self._path(key)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         blob = _MAGIC + hashlib.sha256(payload).hexdigest().encode() + payload
@@ -90,9 +102,14 @@ class DiskStore:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(blob)
-                os.replace(tmp, path)
+                try:
+                    view = memoryview(blob)
+                    while view:
+                        view = view[_fs.fs_write(fd, view):]
+                    _fs.fs_fsync(fd)
+                finally:
+                    os.close(fd)
+                _fs.fs_replace(tmp, path)
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -101,6 +118,8 @@ class DiskStore:
                 raise
         except OSError:
             self.io_errors += 1
+            return False
+        return True
 
     def _entries(self) -> Iterator[Path]:
         if not self.root.is_dir():
@@ -108,6 +127,11 @@ class DiskStore:
         for sub in sorted(self.root.iterdir()):
             if sub.is_dir():
                 yield from sorted(sub.glob("*.pkl"))
+
+    def keys(self) -> Iterator[str]:
+        """Every stored key (sorted directory walk; no payload reads)."""
+        for path in self._entries():
+            yield path.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self._entries())

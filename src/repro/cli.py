@@ -48,7 +48,16 @@ Subcommands
     the service observability plane (per-shard trace files correlated by a
     per-job trace id); ``serve --status-file PATH`` keeps a live JSON
     health snapshot (shard liveness, queue depth, breaker states, SLO
-    percentiles) refreshed from the supervision loop.
+    percentiles) refreshed from the supervision loop. The supervision loop
+    auto-compacts the spool past a size/event threshold (tune with
+    ``--compact-after-bytes/--compact-after-events``, disable with
+    ``--no-auto-compact``).
+``spool``
+    Spool maintenance: ``repro spool compact --spool DIR`` folds the event
+    log into an atomically swapped ``repro-spoolsnap/1`` snapshot and GCs
+    orphaned checkpoints/results; ``repro spool verify --spool DIR`` is the
+    fsck (snapshot schema, generation agreement, log fold, result
+    checksums), exiting nonzero when the spool is damaged.
 
 Robustness
 ----------
@@ -472,6 +481,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--status-interval", type=float, default=2.0,
                    metavar="SEC",
                    help="status-file refresh cadence (default 2s)")
+    p.add_argument("--no-auto-compact", action="store_true",
+                   help="disable the supervision loop's automatic spool "
+                        "compaction (compact manually with "
+                        "'repro spool compact')")
+    p.add_argument("--compact-after-bytes", type=int,
+                   default=4 * 1024 * 1024, metavar="N",
+                   help="auto-compact once the live event log exceeds this "
+                        "many bytes (default 4 MiB)")
+    p.add_argument("--compact-after-events", type=int, default=4096,
+                   metavar="N",
+                   help="auto-compact once this many events accumulate "
+                        "since the last compaction (default 4096)")
     # Chaos harness for supervision drills; hidden like the sweep one.
     p.add_argument("--chaos-sigkill-at", type=int, default=None,
                    help=argparse.SUPPRESS)
@@ -508,6 +529,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spool", required=True, metavar="DIR")
     p.add_argument("--json", action="store_true",
                    help="one JSON object per job instead of the table")
+
+    p = sub.add_parser(
+        "spool",
+        help="spool maintenance: fold history into a crash-consistent "
+             "snapshot (compact) or fsck the spool (verify)")
+    spool_sub = p.add_subparsers(dest="spool_command", required=True)
+    sp = spool_sub.add_parser(
+        "compact",
+        help="fold the event log into a repro-spoolsnap/1 snapshot "
+             "(atomic swap), truncate the live tail, GC orphaned "
+             "checkpoints/results")
+    sp.add_argument("--spool", required=True, metavar="DIR",
+                    help="service spool directory (the serve --spool value)")
+    sp.add_argument("--retain-terminal", type=int, default=None, metavar="N",
+                    help="keep only the N most recent terminal jobs in the "
+                         "snapshot (default: keep all)")
+    sp.add_argument("--no-gc", action="store_true",
+                    help="skip deleting orphaned checkpoint journals and "
+                         "result files for pruned jobs")
+    sp.add_argument("--json", action="store_true",
+                    help="print the compaction stats as JSON")
+    sp = spool_sub.add_parser(
+        "verify",
+        help="fsck the spool: snapshot schema, generation agreement, log "
+             "fold, result checksums, checkpoint orphans; nonzero exit on "
+             "failure")
+    sp.add_argument("--spool", required=True, metavar="DIR",
+                    help="service spool directory (the serve --spool value)")
+    sp.add_argument("--json", action="store_true",
+                    help="print the repro-spoolverify/1 report as JSON")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="also write the repro-spoolverify/1 report to PATH")
+    sp.add_argument("--expect-jobs", default=None, metavar="FILE",
+                    help="oracle check: JSON file mapping job id -> expected "
+                         "terminal state; lost/mismatched jobs fail the "
+                         "verify")
 
     return parser
 
@@ -691,6 +748,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         obs=args.obs,
         status_file=args.status_file,
         status_interval=args.status_interval,
+        auto_compact=not args.no_auto_compact,
+        compact_max_log_bytes=args.compact_after_bytes,
+        compact_max_events=args.compact_after_events,
     )
     sup = WorkerSupervisor(config)
     print(f"repro serve: {args.workers} worker(s) on spool {args.spool} "
@@ -736,6 +796,69 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     else:
         print(format_jobs(views))
     return 0
+
+
+def _cmd_spool(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.errors import ServiceError
+    from repro.service import JobSpool
+    from repro.service.compaction import (
+        CompactionPolicy,
+        compact,
+        render_verify,
+        verify_spool,
+    )
+
+    root = Path(args.spool)
+    if not root.is_dir():
+        raise ServiceError(f"no spool directory at {root}")
+
+    if args.spool_command == "compact":
+        policy = CompactionPolicy(
+            retain_terminal=args.retain_terminal,
+            gc_checkpoints=not args.no_gc,
+            gc_results=not args.no_gc,
+        )
+        spool = JobSpool(root)
+        stats = compact(spool, policy)
+        if args.json:
+            print(_json.dumps(stats.as_dict(), sort_keys=True))
+        else:
+            print(f"repro spool compact: generation {stats.generation}, "
+                  f"{stats.n_events_folded} event(s) folded "
+                  f"({stats.n_jobs} job(s): {stats.n_live} live, "
+                  f"{stats.n_terminal} terminal, {stats.n_pruned} pruned); "
+                  f"log {stats.log_bytes_before} -> {stats.log_bytes_after} "
+                  f"bytes; GC {stats.gc_checkpoints} checkpoint(s), "
+                  f"{stats.gc_results} result(s)")
+        return 0
+
+    expect_jobs = None
+    if args.expect_jobs:
+        expect_path = Path(args.expect_jobs)
+        if not expect_path.exists():
+            raise ServiceError(f"no expected-jobs file at {expect_path}")
+        try:
+            expect_jobs = _json.loads(expect_path.read_text(encoding="utf-8"))
+        except ValueError as exc:
+            raise ServiceError(
+                f"expected-jobs file {expect_path} is not JSON: {exc}")
+        if not isinstance(expect_jobs, dict):
+            raise ServiceError(
+                "expected-jobs file must map job id -> terminal state")
+    report = verify_spool(root, expect_jobs=expect_jobs)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(_json.dumps(report, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+    if args.json:
+        print(_json.dumps(report, sort_keys=True))
+    else:
+        print(render_verify(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -964,6 +1087,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "jobs": _cmd_jobs,
+    "spool": _cmd_spool,
 }
 
 

@@ -176,16 +176,28 @@ def requests_from_spool(spool_root: str | os.PathLike[str],
     Every ``submit`` event becomes one request whose ``t_offset`` is its
     wall-clock distance from the first submission (clamped at zero against
     clock oddities) — real recorded traffic, replayable through any target.
-    Events without a spec or timestamp, and torn lines, are counted as
-    malformed rather than fatal; pre-plane events (no ``t``) arrive at
-    offset 0 so ancient spools still replay.
+    Events without a spec or timestamp are counted as malformed rather
+    than fatal, and a torn tail line (crash mid-append) is skipped;
+    pre-plane events (no ``t``) arrive at offset 0 so ancient spools
+    still replay. Interior log corruption raises the same typed
+    :class:`~repro.errors.ServiceError` the queue fold raises — a
+    recording over lost history would silently under-replay.
+
+    Compaction-aware: jobs folded into the spool's ``repro-spoolsnap/1``
+    snapshot arrive as synthetic submit events (original spec and
+    submission time) ahead of the live tail
+    (:func:`repro.service.compaction.spool_history_events`), so recording
+    works against a compacted spool. A compacted spool keeps one submit
+    per job — resubmissions of a failed job collapse into their latest
+    terms, exactly as the queue itself folds them.
     """
     from repro.errors import ServiceError
-    from repro.obs.aggregate import read_spool_events
+    from repro.service.compaction import spool_history_events
 
     if not Path(spool_root).is_dir():
         raise ServiceError(f"no spool directory at {spool_root}")
-    events, malformed = read_spool_events(spool_root)
+    events = spool_history_events(spool_root)
+    malformed = 0
     t0: float | None = None
     requests: list[Request] = []
     for ev in events:

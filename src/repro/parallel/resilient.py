@@ -202,15 +202,27 @@ class CheckpointJournal:
         return dict(self._completed)
 
     def record(self, fingerprint: str, value: Any) -> None:
+        # Write + flush + fsync through the diskchaos shim: journal appends
+        # are a durability path the disk-fault drills must reach. A failed
+        # append raises typed — the task's result was NOT journaled, so a
+        # resume will recompute it rather than trust a torn record.
+        from repro.robust import diskchaos as _fs
+
         if fingerprint in self._completed:
             return
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
         payload = base64.b64encode(pickle.dumps(value, protocol=4)).decode("ascii")
-        self._fh.write(json.dumps({"fp": fingerprint, "v": payload}) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        try:
+            _fs.fs_file_write(
+                self._fh, json.dumps({"fp": fingerprint, "v": payload}) + "\n")
+            self._fh.flush()
+            _fs.fs_fsync(self._fh.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"checkpoint journal append failed at {self.path}: {exc}"
+            ) from exc
         self._completed[fingerprint] = value
 
     def close(self) -> None:

@@ -29,6 +29,11 @@ silent failures into observable, recoverable ones:
   guards and the ladder end-to-end. Process-level faults (SIGKILL a live
   worker mid-task, seeded slow workers) live on ``FaultInjector`` itself
   and drive the service supervision drills.
+* :mod:`repro.robust.diskchaos` — **disk-fault injection**: a seeded
+  filesystem shim (ENOSPC, EIO on write/fsync, short writes, torn writes
+  followed by a :class:`SimulatedCrash`, rename failures) that the spool
+  log, disk cache tier, checkpoint journal, and compaction swap all write
+  through, so every durability path has a chaos test.
 * :mod:`repro.robust.doctor` — **environment self-check** behind
   ``repro doctor``.
 
@@ -43,6 +48,7 @@ from __future__ import annotations
 
 from repro.robust.breaker import CircuitBreaker
 from repro.robust.chaos import DataFaultInjector
+from repro.robust.diskchaos import DiskFaultInjector, SimulatedCrash
 from repro.robust.doctor import DoctorCheck, DoctorReport, run_doctor
 from repro.robust.gates import GateCheck, GateResult, ValidationGate
 from repro.robust.guards import (
@@ -70,6 +76,7 @@ __all__ = [
     "CircuitBreaker",
     "DataFaultInjector",
     "DegradationLadder",
+    "DiskFaultInjector",
     "DoctorCheck",
     "DoctorReport",
     "GateCheck",
@@ -78,6 +85,7 @@ __all__ = [
     "LadderStep",
     "MeanBaselineModel",
     "QuarantineReport",
+    "SimulatedCrash",
     "QuarantinedRow",
     "ValidationGate",
     "default_ladder",

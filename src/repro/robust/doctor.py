@@ -241,6 +241,60 @@ def _check_stale_leases() -> DoctorCheck:
         f"worst: {worst.id[:12]} with {worst.n_expired} expired lease(s))")
 
 
+#: Spool-bloat thresholds: a live log past either means compaction is not
+#: running (auto-compaction disabled or failing) and fold/recovery time is
+#: growing without bound.
+_SPOOL_BLOAT_BYTES = 64 * 1024 * 1024
+_SPOOL_BLOAT_EVENTS = 100_000
+
+
+def _check_spool_bloat() -> DoctorCheck:
+    """Spool log size / tail length / snapshot age (``REPRO_SPOOL_DIR``).
+
+    Every fold replays the log tail, so an uncompacted log is a growing
+    tax on every claim, submit, and status poll — and the recovery-time
+    bound compaction exists to provide. Past the thresholds this probe
+    fails with the fix spelled out (``repro spool compact``).
+    """
+    import time
+
+    root = os.environ.get("REPRO_SPOOL_DIR")
+    if not root or not Path(root).is_dir():
+        return DoctorCheck("spool-bloat", True, "no spool to inspect")
+    from repro.errors import ServiceError
+    from repro.service.spool import read_snapshot
+
+    log_path = Path(root) / "spool.jsonl"
+    try:
+        log_bytes = log_path.stat().st_size
+    except OSError:
+        log_bytes = 0
+    try:
+        n_events = log_path.read_bytes().count(b"\n") if log_bytes else 0
+    except OSError:
+        n_events = 0
+    try:
+        snap = read_snapshot(root)
+    except ServiceError as exc:
+        return DoctorCheck("spool-bloat", False,
+                           f"snapshot unreadable ({exc}) — run "
+                           "`repro spool verify`")
+    if snap is None:
+        snap_note = "never compacted"
+    else:
+        age = max(0.0, time.time() - float(snap.get("created_t", 0.0)))
+        snap_note = (f"snapshot g{int(snap.get('generation', 0))}, "
+                     f"age {age:.0f}s")
+    detail = (f"log {log_bytes / 1024.0:.1f} KiB, {n_events} event line(s) "
+              f"since last compaction; {snap_note}")
+    if log_bytes >= _SPOOL_BLOAT_BYTES or n_events >= _SPOOL_BLOAT_EVENTS:
+        return DoctorCheck(
+            "spool-bloat", False,
+            detail + " — folds are replaying an unbounded history; run "
+                     "`repro spool compact` (or re-enable auto-compaction)")
+    return DoctorCheck("spool-bloat", True, detail)
+
+
 def _check_status_file() -> DoctorCheck:
     """``serve --status-file`` target writability (``REPRO_STATUS_FILE``)."""
     target = os.environ.get("REPRO_STATUS_FILE")
@@ -378,6 +432,7 @@ _CHECKS: tuple[Callable[[], DoctorCheck], ...] = (
     _check_fd_headroom,
     _check_start_method,
     _check_stale_leases,
+    _check_spool_bloat,
     _check_status_file,
     _check_shard_snapshots,
     _check_clock_skew,

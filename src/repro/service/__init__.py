@@ -9,16 +9,24 @@ long-running daemon that *degrades instead of dying*:
   flock-guarded JSONL event log with lease-based ownership (crashed
   workers' jobs re-dispatch on lease expiry) and bounded-depth admission
   control (:class:`~repro.errors.ServiceOverloadError` instead of unbounded
-  queueing).
+  queueing). Reads fold snapshot + tail; appends degrade typed (write
+  breaker -> read-only mode) when the disk misbehaves.
+* :mod:`repro.service.compaction` — crash-consistent log compaction: the
+  history folds into an atomically swapped ``repro-spoolsnap/1`` snapshot
+  with a generation-counted marker tail, orphaned checkpoints/results are
+  GC'd, and :func:`~repro.service.compaction.verify_spool` is the fsck
+  (``repro spool verify/compact``).
 * :mod:`repro.service.worker` — the shard loop: checkpoint-journaled
   execution (bit-identical resume), per-job deadlines, heartbeats, and
   circuit breakers around model fitting and the shared disk cache.
 * :mod:`repro.service.supervisor` — process supervision: crash detection,
-  hung-worker SIGKILL, capped seeded restart backoff, graceful drain.
+  hung-worker SIGKILL, capped seeded restart backoff, auto-compaction
+  past a size/event threshold, graceful drain.
 * :mod:`repro.service.client` — filesystem-only submit/wait/inspect with
   typed failures whose exit codes survive the process boundary.
 
-Wired to the CLI as ``repro serve``, ``repro submit``, and ``repro jobs``.
+Wired to the CLI as ``repro serve``, ``repro submit``, ``repro jobs``,
+and ``repro spool compact|verify``.
 """
 
 from repro.service.client import (
@@ -29,15 +37,32 @@ from repro.service.client import (
     submit_job,
     wait_for,
 )
+from repro.service.compaction import (
+    CompactionPolicy,
+    CompactionStats,
+    compact,
+    maybe_compact,
+    should_compact,
+    verify_spool,
+)
 from repro.service.jobs import JOB_KINDS, JOB_STATES, JobSpec, JobView, job_id
-from repro.service.spool import SPOOL_SCHEMA, JobSpool, SpoolConfig
+from repro.service.spool import (
+    SNAPSHOT_SCHEMA,
+    SPOOL_SCHEMA,
+    JobSpool,
+    SpoolConfig,
+    read_snapshot,
+)
 from repro.service.supervisor import ServiceConfig, WorkerSupervisor
 from repro.service.worker import Worker, WorkerConfig, drain_queue, worker_main
 
 __all__ = [
     "JOB_KINDS",
     "JOB_STATES",
+    "SNAPSHOT_SCHEMA",
     "SPOOL_SCHEMA",
+    "CompactionPolicy",
+    "CompactionStats",
     "JobFailed",
     "JobSpec",
     "JobSpool",
@@ -47,12 +72,17 @@ __all__ = [
     "Worker",
     "WorkerConfig",
     "WorkerSupervisor",
+    "compact",
     "drain_queue",
     "format_jobs",
     "job_id",
     "list_jobs",
+    "maybe_compact",
     "poll_jobs",
+    "read_snapshot",
+    "should_compact",
     "submit_job",
+    "verify_spool",
     "wait_for",
     "worker_main",
 ]

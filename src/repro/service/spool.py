@@ -8,7 +8,8 @@ lose an accepted job or corrupt the log.
 
 Layout of a spool directory::
 
-    spool.jsonl        append-only event log (the queue itself)
+    spool.jsonl        append-only event log (the live tail of the queue)
+    spoolsnap.json     pre-folded snapshot of compacted history (§ below)
     spool.lock         advisory flock serializing appends and claims
     config.json        admission/lease settings (written by the daemon)
     results/           content-addressed job results (checksummed DiskStore)
@@ -18,21 +19,34 @@ Layout of a spool directory::
 
 **Events, not states.** The log records immutable facts — ``submit``,
 ``lease``, ``renew``, ``done``, ``fail`` — one JSON object per line; the
-current state
-of a job is a pure fold over its events (:meth:`JobSpool.jobs`). Appends
-happen under the flock, with flush+fsync, so a line is either fully present
-or (after a crash mid-write) a torn tail that the fold tolerates exactly
-like :class:`~repro.parallel.CheckpointJournal` does.
+current state of a job is a pure fold over its events
+(:meth:`JobSpool.jobs`). Appends happen under the flock, with
+flush+fsync, so a line is either fully present or (after a crash
+mid-write) a torn tail that the fold tolerates exactly like
+:class:`~repro.parallel.CheckpointJournal` does. The next append under the
+flock *repairs* a torn tail (truncates back to the last complete line)
+before writing, so a crashed writer can never smear its fragment into the
+following record — the torn bytes were never acknowledged to anyone.
+
+**Snapshot + tail.** An unbounded log would make every fold O(history).
+:mod:`repro.service.compaction` periodically folds the log into a
+schema-versioned ``repro-spoolsnap/1`` snapshot (``spoolsnap.json``,
+atomically swapped, generation-counted) and resets the log to a one-line
+``compact`` marker; :meth:`JobSpool._events` then reads *snapshot + tail*,
+so folds are O(live jobs + events since last compaction). The marker's
+generation ties the tail to its snapshot; a crash between the two swap
+renames leaves a detectable, automatically reconciled state (the snapshot
+records how many log lines it folded).
 
 **Leases, not assignments.** Claiming a job appends a ``lease`` event with
 a wall-clock expiry; a live worker extends it from its heartbeat path with
 ``renew`` events (:meth:`JobSpool.renew`), so a long job is never
 re-dispatched out from under a healthy holder. A worker that dies mid-job
 simply stops renewing; once the lease expires the job is claimable again
-(re-dispatch),
-and the per-job checkpoint journal plus the content-addressed result store
-make the re-execution idempotent. ``done``/``fail`` from a stale lease
-holder is harmless: the fold keeps the first terminal event.
+(re-dispatch), and the per-job checkpoint journal plus the
+content-addressed result store make the re-execution idempotent.
+``done``/``fail`` from a stale lease holder is harmless: the fold keeps
+the first terminal event.
 
 **Admission control.** ``submit`` sheds load instead of queueing without
 bound: when pending+running depth reaches ``max_depth`` it raises the typed
@@ -41,6 +55,14 @@ overloaded service answers "try later" in bounded time. Submitting a spec
 that is already queued, running, or done is *free* — the job id is a
 content fingerprint, so concurrent tenants share one execution and one
 cached result; resubmitting a *failed* job re-opens it.
+
+**Disk-fault degradation.** Every append goes through the
+:mod:`repro.robust.diskchaos` shim and a write circuit breaker: an append
+that fails (ENOSPC, EIO) surfaces as a typed
+:class:`~repro.errors.ServiceError`, and repeated failures open the
+breaker, putting the spool in *read-only mode* — further mutations shed
+with :class:`~repro.errors.CircuitOpenError` until the breaker half-opens
+— instead of wedging every shard on a sick disk.
 """
 
 from __future__ import annotations
@@ -49,19 +71,46 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any
 
 from repro.cache.disk import DiskStore
-from repro.errors import ServiceError, ServiceOverloadError
+from repro.errors import CircuitOpenError, ServiceError, ServiceOverloadError
 from repro.obs.metrics import default_registry as _metrics
+from repro.robust import diskchaos as _fs
+from repro.robust.breaker import CircuitBreaker
 from repro.service.jobs import JobSpec, JobView, job_id
 from repro.util.locking import FileLock
 
-__all__ = ["SPOOL_SCHEMA", "SpoolConfig", "JobSpool"]
+__all__ = [
+    "COMPACT_EV",
+    "SNAPSHOT_NAME",
+    "SNAPSHOT_SCHEMA",
+    "SPOOL_SCHEMA",
+    "JobSpool",
+    "SpoolConfig",
+    "fold_events",
+    "read_snapshot",
+    "snapshot_base",
+    "snapshot_record",
+]
 
 SPOOL_SCHEMA = "repro-spool/1"
 
+#: Schema of the pre-folded compaction snapshot (``spoolsnap.json``).
+SNAPSHOT_SCHEMA = "repro-spoolsnap/1"
+SNAPSHOT_NAME = "spoolsnap.json"
+
+#: Event kind of the one-line marker compaction leaves as the new log head.
+#: Carries no ``id``, so every fold (here and in ``repro.obs``) skips it.
+COMPACT_EV = "compact"
+
 _TERMINAL = ("done", "fail")
+
+#: Fields of one folded job record, in snapshot serialization order.
+_RECORD_FIELDS = (
+    "trace_id", "submitted_t", "deadline_s", "worker", "expires",
+    "n_leases", "n_expired", "terminal", "error_type", "message", "elapsed",
+)
 
 
 class SpoolConfig:
@@ -85,17 +134,158 @@ class SpoolConfig:
                    lease_ttl=float(d.get("lease_ttl", 30.0)))
 
 
+# -- the fold ----------------------------------------------------------------
+# Module-level so compaction folds with byte-for-byte the same semantics as
+# the live queue: a snapshot is nothing but this fold, persisted.
+
+
+def _new_job_record(ev: dict[str, Any], jid: str) -> dict[str, Any]:
+    return {
+        "spec": JobSpec.from_dict(ev["spec"]),
+        # Older logs predate trace stamping; the id *is* the trace id by
+        # construction, so falling back to it keeps correlation working
+        # across the upgrade.
+        "trace_id": str(ev.get("trace_id") or jid),
+        "submitted_t": float(ev.get("t", 0.0)),
+        "deadline_s": ev.get("deadline_s"),
+        "worker": None, "expires": None,
+        "n_leases": 0, "n_expired": 0,
+        "terminal": None, "error_type": None,
+        "message": None, "elapsed": None,
+    }
+
+
+def _fold_event(raw: dict[str, dict[str, Any]], ev: dict[str, Any]) -> None:
+    """Apply one event to the folded state (events without an id: no-ops)."""
+    kind, jid = ev.get("ev"), ev.get("id")
+    if not jid:
+        return
+    rec = raw.get(jid)
+    if kind == "submit":
+        if rec is None:
+            raw[jid] = _new_job_record(ev, jid)
+        elif rec["terminal"] == "fail":
+            # Resubmission re-opens a failed job on fresh terms: the
+            # submission clock and deadline restart now, so a job that
+            # failed with JobDeadlineExceeded does not instantly re-fail
+            # against its long-expired original deadline.
+            rec.update(terminal=None, error_type=None, message=None,
+                       worker=None, expires=None,
+                       submitted_t=float(ev.get("t", rec["submitted_t"])),
+                       deadline_s=ev.get("deadline_s"))
+    elif rec is None:
+        return  # lease/done/fail for an unknown id: ignore
+    elif kind == "lease":
+        if rec["n_leases"] > 0 and rec["terminal"] is None:
+            rec["n_expired"] += 1  # a re-lease implies expiry
+        rec["n_leases"] += 1
+        rec["worker"] = ev.get("worker")
+        rec["expires"] = float(ev.get("expires", 0.0))
+    elif kind == "renew":
+        # Heartbeat-path lease extension; only the current holder may
+        # extend (a preempted worker's late renew is ignored, exactly
+        # like its late terminal event would be).
+        if rec["terminal"] is None and rec["worker"] == ev.get("worker"):
+            rec["expires"] = float(ev.get("expires", rec["expires"] or 0.0))
+    elif kind in _TERMINAL and rec["terminal"] is None:
+        rec["terminal"] = kind
+        rec["elapsed"] = ev.get("elapsed")
+        if kind == "fail":
+            rec["error_type"] = ev.get("error_type")
+            rec["message"] = ev.get("message")
+
+
+def fold_events(events: Any,
+                base: dict[str, dict[str, Any]] | None = None,
+                ) -> dict[str, dict[str, Any]]:
+    """Fold an event stream onto ``base`` (mutated and returned)."""
+    raw = base if base is not None else {}
+    for ev in events:
+        _fold_event(raw, ev)
+    return raw
+
+
+# -- snapshot (read side; the write side lives in service.compaction) --------
+
+
+def snapshot_record(jid: str, rec: dict[str, Any]) -> dict[str, Any]:
+    """Serialize one folded job record for a snapshot (JSON-safe)."""
+    doc: dict[str, Any] = {"id": jid, "spec": rec["spec"].as_dict()}
+    for field in _RECORD_FIELDS:
+        doc[field] = rec[field]
+    return doc
+
+
+def snapshot_base(doc: dict[str, Any]) -> dict[str, dict[str, Any]]:
+    """Inflate a snapshot document back into the fold's base state."""
+    base: dict[str, dict[str, Any]] = {}
+    for job in doc.get("jobs", ()):
+        jid = str(job.get("id") or "")
+        spec_doc = job.get("spec")
+        if not jid or not isinstance(spec_doc, dict):
+            raise ServiceError(
+                f"corrupt spool snapshot: job entry missing id/spec ({job!r})")
+        rec: dict[str, Any] = {"spec": JobSpec.from_dict(spec_doc)}
+        for field in _RECORD_FIELDS:
+            rec[field] = job.get(field)
+        rec["trace_id"] = str(rec["trace_id"] or jid)
+        rec["submitted_t"] = float(rec["submitted_t"] or 0.0)
+        rec["n_leases"] = int(rec["n_leases"] or 0)
+        rec["n_expired"] = int(rec["n_expired"] or 0)
+        base[jid] = rec
+    return base
+
+
+def read_snapshot(root: str | os.PathLike[str]) -> dict[str, Any] | None:
+    """Load ``spoolsnap.json`` (None when the spool was never compacted).
+
+    A snapshot that exists but cannot be parsed, or carries an unknown
+    schema, raises :class:`~repro.errors.ServiceError`: the spool's folded
+    history is unreadable, which is corruption, not a fresh start.
+    """
+    path = Path(root) / SNAPSHOT_NAME
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise ServiceError(f"unreadable spool snapshot {path}: {exc}") from exc
+    try:
+        doc = json.loads(text)
+        if not isinstance(doc, dict):
+            raise ValueError("not a JSON object")
+    except ValueError as exc:
+        raise ServiceError(f"corrupt spool snapshot {path}: {exc}") from exc
+    if doc.get("schema") != SNAPSHOT_SCHEMA:
+        raise ServiceError(
+            f"unsupported spool snapshot schema {doc.get('schema')!r} "
+            f"in {path} (expected {SNAPSHOT_SCHEMA})")
+    return doc
+
+
+class _SnapshotRaced(Exception):
+    """Internal: a compaction swapped files between our two reads; retry."""
+
+
 class JobSpool:
     """One spool directory: durable queue + result store + heartbeats."""
 
     def __init__(self, root: str | os.PathLike[str],
-                 config: SpoolConfig | None = None) -> None:
+                 config: SpoolConfig | None = None,
+                 write_breaker: CircuitBreaker | None = None) -> None:
         self.root = Path(root)
         self.log_path = self.root / "spool.jsonl"
+        self.snapshot_path = self.root / SNAPSHOT_NAME
         self.config_path = self.root / "config.json"
         self.config = config if config is not None else SpoolConfig()
         self.results = DiskStore(self.root / "results")
         self._lock = FileLock(self.root / "spool.lock")
+        #: Guards every log append: repeated write failures (full/sick disk)
+        #: open it and the spool degrades to read-only shedding
+        #: (:class:`~repro.errors.CircuitOpenError`) instead of wedging.
+        self.write_breaker = write_breaker if write_breaker is not None else \
+            CircuitBreaker(f"spool-write:{self.root.name}",
+                           failure_threshold=3, reset_timeout=5.0)
 
     # -- construction --------------------------------------------------------
 
@@ -139,94 +329,159 @@ class JobSpool:
 
     # -- event log -----------------------------------------------------------
 
+    def _repair_torn_tail(self, fd: int) -> None:
+        # A crash mid-append leaves a torn final line. Those bytes were
+        # never acknowledged (write+fsync completes before any mutator
+        # returns), so truncating back to the last complete line loses
+        # nothing — and it must happen before *our* write, or the fragment
+        # and our record would merge into one unparseable mid-log line.
+        size = os.fstat(fd).st_size
+        if size == 0 or os.pread(fd, 1, size - 1) == b"\n":
+            return
+        pos, cut, chunk = size - 1, 0, 4096
+        while pos > 0:
+            start = max(0, pos - chunk)
+            buf = os.pread(fd, pos - start, start)
+            nl = buf.rfind(b"\n")
+            if nl >= 0:
+                cut = start + nl + 1
+                break
+            pos = start
+        os.ftruncate(fd, cut)
+        _metrics().counter("service.spool.torn_repaired").inc()
+
     def _append(self, record: dict[str, Any]) -> None:
         # Caller holds the flock. O_APPEND + write-until-drained + fsync: a
-        # crash leaves at most a torn final line, which the fold tolerates.
-        # A short write (ENOSPC, signal) must be resumed, not ignored —
-        # a truncated line with later appends after it is mid-log corruption.
+        # crash leaves at most a torn final line, which the fold tolerates
+        # and the next append repairs. A short write (ENOSPC, signal) must
+        # be resumed, not ignored — a truncated line with later appends
+        # after it is mid-log corruption. All I/O goes through the
+        # diskchaos shim so chaos drills can fault every step.
         self.root.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True) + "\n"
-        fd = os.open(self.log_path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        fd = _fs.fs_open(self.log_path,
+                         os.O_RDWR | os.O_APPEND | os.O_CREAT, 0o644)
         try:
+            self._repair_torn_tail(fd)
             view = memoryview(line.encode("utf-8"))
             while view:
-                view = view[os.write(fd, view):]
-            os.fsync(fd)
+                view = view[_fs.fs_write(fd, view):]
+            _fs.fs_fsync(fd)
         finally:
             os.close(fd)
 
-    def _events(self) -> Iterable[dict[str, Any]]:
+    def _guarded_append(self, record: dict[str, Any]) -> None:
+        """Append with typed degradation: breaker-gated, OSError -> typed.
+
+        Raises :class:`~repro.errors.CircuitOpenError` while the write
+        breaker is open (read-only mode) and
+        :class:`~repro.errors.ServiceError` on an append the disk refused —
+        the event did not land, so the caller's state transition did not
+        happen. Both are shed conditions, never shard-fatal.
+        """
+        breaker = self.write_breaker
+        if not breaker.allow():
+            _metrics().counter("service.spool.write_shed").inc()
+            raise CircuitOpenError(
+                f"spool {self.root} is in read-only mode: {breaker.name} "
+                f"open after repeated append failures; retry in "
+                f"{breaker.retry_after():.1f}s",
+                breaker=breaker.name, retry_after=breaker.retry_after())
+        try:
+            self._append(record)
+        except OSError as exc:
+            breaker.record_failure()
+            _metrics().counter("service.spool.write_errors").inc()
+            raise ServiceError(
+                f"spool append failed at {self.log_path}: {exc}") from exc
+        breaker.record_success()
+
+    def _parse_log(self) -> tuple[list[tuple[int, dict[str, Any]]], int]:
+        """Parse the live log: ``([(lineno, event), ...], n_lines)``.
+
+        A torn *final* line (crash mid-append) is tolerated; torn or
+        non-object interior lines are corruption and raise — an event log
+        with a hole in the middle has lost history no fold can recover.
+        """
         if not self.log_path.exists():
-            return []
+            return [], 0
         lines = self.log_path.read_text().splitlines()
-        events = []
+        events: list[tuple[int, dict[str, Any]]] = []
         for lineno, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
-                events.append(json.loads(line))
+                ev = json.loads(line)
+                if not isinstance(ev, dict):
+                    raise ValueError("not a JSON object")
             except ValueError as exc:
                 if lineno == len(lines) - 1:
                     break  # torn tail from a crash mid-append
                 raise ServiceError(
                     f"corrupt spool log {self.log_path} at line "
                     f"{lineno + 1}: {exc}") from exc
-        return events
+            events.append((lineno, ev))
+        return events, len(lines)
+
+    @staticmethod
+    def _reconcile(snap: dict[str, Any] | None,
+                   parsed: list[tuple[int, dict[str, Any]]],
+                   ) -> tuple[dict[str, dict[str, Any]], list[dict[str, Any]]]:
+        """Pair a snapshot with the log it belongs to: ``(base, tail)``.
+
+        Compaction renames the snapshot *before* swapping the log, so three
+        on-disk states are possible and all reconcile without locking:
+
+        * log starts with a ``compact`` marker of the snapshot's generation
+          — the normal state; the tail is everything after the marker.
+        * log predates the snapshot's swap (crash in the window between the
+          two renames, or marker of an older generation): the snapshot
+          says how many log lines it folded (``n_log_lines``); the tail is
+          every line past that count.
+        * marker generation *newer* than the snapshot — impossible on
+          stable disk, so our snapshot read must be stale (a compaction
+          swapped both files between our two reads): raise
+          :class:`_SnapshotRaced` and re-read.
+        """
+        if snap is None:
+            return {}, [ev for _, ev in parsed]
+        gen = int(snap.get("generation", 0))
+        if parsed and parsed[0][0] == 0 \
+                and parsed[0][1].get("ev") == COMPACT_EV:
+            marker_gen = int(parsed[0][1].get("gen", -1))
+            if marker_gen == gen:
+                return snapshot_base(snap), [ev for _, ev in parsed[1:]]
+            if marker_gen > gen:
+                raise _SnapshotRaced(
+                    f"log marker generation {marker_gen} ahead of "
+                    f"snapshot generation {gen}")
+        skip = int(snap.get("n_log_lines", 0))
+        return snapshot_base(snap), [ev for ln, ev in parsed if ln >= skip]
+
+    def _events(self) -> tuple[dict[str, dict[str, Any]], list[dict[str, Any]]]:
+        """The queue's full history: pre-folded snapshot base + tail events.
+
+        Lock-free read: when a concurrent compaction swaps the snapshot and
+        log between our two reads, the generation mismatch is detected and
+        the read retried (the swap itself is two atomic renames, so every
+        individual read sees a complete file).
+        """
+        for _ in range(5):
+            snap = read_snapshot(self.root)
+            parsed, _n_lines = self._parse_log()
+            try:
+                return self._reconcile(snap, parsed)
+            except _SnapshotRaced:
+                continue
+        raise ServiceError(
+            f"spool {self.root} kept compacting underfoot; "
+            "snapshot/log reads never converged")
 
     def jobs(self, now: float | None = None) -> dict[str, JobView]:
-        """Fold the event log into id -> :class:`JobView`, submit order."""
+        """Fold snapshot + tail into id -> :class:`JobView`, submit order."""
         now = time.time() if now is None else now
-        raw: dict[str, dict[str, Any]] = {}
-        for ev in self._events():
-            kind, jid = ev.get("ev"), ev.get("id")
-            if not jid:
-                continue
-            rec = raw.get(jid)
-            if kind == "submit":
-                if rec is None:
-                    raw[jid] = {
-                        "spec": JobSpec.from_dict(ev["spec"]),
-                        # Older logs predate trace stamping; the id *is* the
-                        # trace id by construction, so falling back to it
-                        # keeps correlation working across the upgrade.
-                        "trace_id": str(ev.get("trace_id") or jid),
-                        "submitted_t": float(ev.get("t", 0.0)),
-                        "deadline_s": ev.get("deadline_s"),
-                        "worker": None, "expires": None,
-                        "n_leases": 0, "n_expired": 0,
-                        "terminal": None, "error_type": None,
-                        "message": None, "elapsed": None,
-                    }
-                elif rec["terminal"] == "fail":
-                    # Resubmission re-opens a failed job on fresh terms: the
-                    # submission clock and deadline restart now, so a job
-                    # that failed with JobDeadlineExceeded does not instantly
-                    # re-fail against its long-expired original deadline.
-                    rec.update(terminal=None, error_type=None, message=None,
-                               worker=None, expires=None,
-                               submitted_t=float(ev.get("t", rec["submitted_t"])),
-                               deadline_s=ev.get("deadline_s"))
-            elif rec is None:
-                continue  # lease/done/fail for an unknown id: ignore
-            elif kind == "lease":
-                if rec["n_leases"] > 0 and rec["terminal"] is None:
-                    rec["n_expired"] += 1  # a re-lease implies expiry
-                rec["n_leases"] += 1
-                rec["worker"] = ev.get("worker")
-                rec["expires"] = float(ev.get("expires", 0.0))
-            elif kind == "renew":
-                # Heartbeat-path lease extension; only the current holder
-                # may extend (a preempted worker's late renew is ignored,
-                # exactly like its late terminal event would be).
-                if rec["terminal"] is None and rec["worker"] == ev.get("worker"):
-                    rec["expires"] = float(
-                        ev.get("expires", rec["expires"] or 0.0))
-            elif kind in _TERMINAL and rec["terminal"] is None:
-                rec["terminal"] = kind
-                rec["elapsed"] = ev.get("elapsed")
-                if kind == "fail":
-                    rec["error_type"] = ev.get("error_type")
-                    rec["message"] = ev.get("message")
+        base, tail = self._events()
+        raw = fold_events(tail, base)
         views: dict[str, JobView] = {}
         for jid, rec in raw.items():
             if rec["terminal"] == "done":
@@ -281,9 +536,10 @@ class JobSpool:
             # trace_id == job id: the distributed trace of a job IS the job,
             # so dedup'd submissions, crash re-dispatch, and failed-job
             # resubmission all land in one correlated timeline.
-            self._append({"ev": "submit", "id": jid, "spec": spec.as_dict(),
-                          "t": time.time(), "deadline_s": deadline_s,
-                          "trace_id": jid})
+            self._guarded_append({"ev": "submit", "id": jid,
+                                  "spec": spec.as_dict(),
+                                  "t": time.time(), "deadline_s": deadline_s,
+                                  "trace_id": jid})
             _metrics().counter("service.jobs.submitted").inc()
             _metrics().gauge("service.queue.depth").set(depth + 1)
         return jid
@@ -307,8 +563,9 @@ class JobSpool:
             if job.n_leases > 0:
                 _metrics().counter("service.lease.expired").inc()
             expires = now + self.config.lease_ttl
-            self._append({"ev": "lease", "id": job.id, "worker": worker,
-                          "expires": expires, "t": now})
+            self._guarded_append({"ev": "lease", "id": job.id,
+                                  "worker": worker, "expires": expires,
+                                  "t": now})
             _metrics().counter("service.jobs.claimed").inc()
             return JobView(
                 id=job.id, spec=job.spec, state="running",
@@ -325,30 +582,52 @@ class JobSpool:
         outlasts one TTL is never re-dispatched out from under its holder.
         A renew from a worker that has since been preempted is a no-op in
         the fold (the current holder's lease is authoritative).
+
+        Best-effort under disk faults: a renew that cannot be appended is
+        counted and dropped — the worst case is a lease that expires and
+        re-dispatches a job whose journal+result store make re-execution
+        idempotent, which beats failing a healthy sweep mid-flight.
         """
         now = time.time() if now is None else now
-        with self._lock:
-            self._append({"ev": "renew", "id": jid, "worker": worker,
-                          "expires": now + self.config.lease_ttl, "t": now})
+        try:
+            with self._lock:
+                self._guarded_append({"ev": "renew", "id": jid,
+                                      "worker": worker,
+                                      "expires": now + self.config.lease_ttl,
+                                      "t": now})
+        except ServiceError:
+            _metrics().counter("service.lease.renew_failures").inc()
+            return
         _metrics().counter("service.lease.renewed").inc()
 
     def complete(self, jid: str, worker: str, result: Any,
                  elapsed: float) -> None:
-        """Persist ``result`` and mark the job done (idempotent)."""
-        self.results.put(jid, result)
+        """Persist ``result`` and mark the job done (idempotent).
+
+        The result write happens *before* the ``done`` event and must
+        succeed: a ``done`` without a readable result would be a lost job
+        wearing a success state. On a failed write the job simply stays
+        leased — the lease expires, the next holder recomputes (or finds
+        the result if only the event append failed).
+        """
+        if not self.results.put(jid, result):
+            _metrics().counter("service.spool.result_write_failures").inc()
+            raise ServiceError(
+                f"result store write failed for job {jid[:12]} "
+                f"(disk fault); job stays leased for re-dispatch")
         with self._lock:
-            self._append({"ev": "done", "id": jid, "worker": worker,
-                          "elapsed": elapsed, "t": time.time()})
+            self._guarded_append({"ev": "done", "id": jid, "worker": worker,
+                                  "elapsed": elapsed, "t": time.time()})
         _metrics().counter("service.jobs.completed").inc()
 
     def fail(self, jid: str, worker: str, error_type: str, message: str,
              elapsed: float) -> None:
         """Record a permanent, typed job failure."""
         with self._lock:
-            self._append({"ev": "fail", "id": jid, "worker": worker,
-                          "error_type": error_type,
-                          "message": message[:500], "elapsed": elapsed,
-                          "t": time.time()})
+            self._guarded_append({"ev": "fail", "id": jid, "worker": worker,
+                                  "error_type": error_type,
+                                  "message": message[:500], "elapsed": elapsed,
+                                  "t": time.time()})
         _metrics().counter("service.jobs.failed").inc()
 
     def result(self, jid: str, default: Any = None) -> Any:
@@ -387,29 +666,43 @@ class JobSpool:
         ``breakers`` (breaker name -> state) rides along so the supervisor's
         live status file can report per-shard breaker health without any
         extra IPC — the heartbeat file is already the liveness channel.
+        A beat the disk refuses is counted and dropped: one missed beat is
+        survivable, a shard crash-looping on telemetry writes is not.
         """
-        hb_dir = self.root / "hb"
-        hb_dir.mkdir(parents=True, exist_ok=True)
         record: dict[str, Any] = {"pid": os.getpid(), "t": time.time(),
                                   "job": job}
         if breakers:
             record["breakers"] = breakers
-        payload = json.dumps(record)
-        tmp = hb_dir / f".{worker}.tmp"
-        tmp.write_text(payload + "\n")
-        os.replace(tmp, hb_dir / f"{worker}.json")
+        hb_dir = self.root / "hb"
+        try:
+            hb_dir.mkdir(parents=True, exist_ok=True)
+            tmp = hb_dir / f".{worker}.tmp"
+            tmp.write_text(json.dumps(record) + "\n")
+            _fs.fs_replace(tmp, hb_dir / f"{worker}.json")
+        except OSError:
+            _metrics().counter("service.heartbeat.write_failures").inc()
 
     def heartbeats(self) -> dict[str, dict[str, Any]]:
-        """worker name -> last heartbeat payload ({pid, t, job})."""
+        """worker name -> last heartbeat payload ({pid, t, job}).
+
+        A file replaced mid-read or torn by a dying writer is skipped but
+        *counted* via the shared ``obs.reader.malformed_lines`` counter —
+        the same ledger every other tolerant reader feeds — so silent
+        heartbeat corruption is visible in the metrics plane.
+        """
         hb_dir = self.root / "hb"
         if not hb_dir.is_dir():
             return {}
         out: dict[str, dict[str, Any]] = {}
         for path in sorted(hb_dir.glob("*.json")):
             try:
-                out[path.stem] = json.loads(path.read_text())
+                payload = json.loads(path.read_text())
+                if not isinstance(payload, dict):
+                    raise ValueError("heartbeat is not a JSON object")
             except (OSError, ValueError):
+                _metrics().counter("obs.reader.malformed_lines").inc()
                 continue  # replaced mid-read; next poll sees it
+            out[path.stem] = payload
         return out
 
     # -- diagnostics ---------------------------------------------------------

@@ -84,6 +84,15 @@ class ServiceConfig:
     #: writes. The file is replaced atomically every ``status_interval``.
     status_file: str | None = None
     status_interval: float = 2.0
+    #: Auto-compaction: once the spool log outgrows either threshold, the
+    #: serve loop folds it into a ``repro-spoolsnap/1`` snapshot (under the
+    #: spool flock, so claims/submits never interleave) and GCs orphaned
+    #: checkpoints/results. Thresholds sized so short-lived drills never
+    #: trigger it; a long-lived daemon compacts roughly per-threshold.
+    auto_compact: bool = True
+    compact_max_log_bytes: int = 4 * 1024 * 1024
+    compact_max_events: int = 4096
+    compact_check_interval: float = 5.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -95,6 +104,13 @@ class ServiceConfig:
         if self.status_interval <= 0:
             raise ValueError(
                 f"status_interval must be > 0, got {self.status_interval}")
+        if self.compact_max_log_bytes < 1 or self.compact_max_events < 1:
+            raise ValueError(
+                "compact_max_log_bytes and compact_max_events must be >= 1")
+        if self.compact_check_interval <= 0:
+            raise ValueError(
+                f"compact_check_interval must be > 0, "
+                f"got {self.compact_check_interval}")
 
 
 @dataclass
@@ -250,6 +266,31 @@ class WorkerSupervisor:
                 p.join()
                 self._handle_dead(slot, "hung")
 
+    # -- auto-compaction -----------------------------------------------------
+
+    def maybe_compact(self) -> None:
+        """One auto-compaction pass; failures degrade, never kill the loop.
+
+        Compaction holds the spool flock for its duration, so it is safe
+        against concurrent claims/submits by construction; a disk fault
+        mid-compaction leaves a state the reader reconciles (DESIGN §15)
+        and the next pass retries.
+        """
+        from repro.service.compaction import CompactionPolicy, maybe_compact
+
+        policy = CompactionPolicy(
+            max_log_bytes=self.config.compact_max_log_bytes,
+            max_events=self.config.compact_max_events)
+        try:
+            stats = maybe_compact(self.spool, policy)
+        except (ServiceError, OSError) as exc:
+            self.events.append(f"compact-failed:{type(exc).__name__}")
+            _metrics().counter("service.compaction.failures").inc()
+            return
+        if stats is not None:
+            self.events.append(
+                f"compacted:g{stats.generation}:{stats.n_events_folded}ev")
+
     # -- live status ---------------------------------------------------------
 
     def status_snapshot(self) -> dict:
@@ -288,6 +329,17 @@ class WorkerSupervisor:
         by_state = {"pending": 0, "running": 0, "done": 0, "failed": 0}
         for view in self.spool.jobs(now).values():
             by_state[view.state] = by_state.get(view.state, 0) + 1
+        from repro.service.spool import read_snapshot
+
+        try:
+            snap = read_snapshot(self.spool.root)
+            generation = int(snap.get("generation", 0)) if snap else 0
+        except ServiceError:
+            generation = -1  # snapshot present but unreadable: fsck needed
+        try:
+            log_bytes = self.spool.log_path.stat().st_size
+        except OSError:
+            log_bytes = 0
         return {
             "schema": STATUS_SCHEMA,
             "t": now,
@@ -296,6 +348,7 @@ class WorkerSupervisor:
             "workers": workers,
             "queue": dict(by_state,
                           depth=by_state["pending"] + by_state["running"]),
+            "compaction": {"generation": generation, "log_bytes": log_bytes},
             "slo": slo_snapshot(compute_slo_for_spool(self.spool.root)),
         }
 
@@ -376,6 +429,7 @@ class WorkerSupervisor:
         started = time.monotonic()
         idle_since: float | None = None
         last_status: float | None = None
+        last_compact: float | None = None
         try:
             while True:
                 self.poll()
@@ -385,6 +439,12 @@ class WorkerSupervisor:
                         or now - last_status >= self.config.status_interval):
                     self.write_status()
                     last_status = now
+                if self.config.auto_compact and (
+                        last_compact is None
+                        or now - last_compact
+                        >= self.config.compact_check_interval):
+                    self.maybe_compact()
+                    last_compact = now
                 if self.config.max_runtime is not None and \
                         now - started > self.config.max_runtime:
                     self.request_drain(why="max-runtime")

@@ -30,6 +30,14 @@ fails:
   paying the NN training cost per job and lands on the linear rungs until
   the breaker half-opens. ``disk-cache`` guards the spool-shared disk cache
   tier, degrading it to memory-only while the disk misbehaves.
+* **Sick spool disk**: a claim/complete/fail the spool cannot append
+  (ENOSPC, EIO, or the spool's own write breaker open in read-only mode)
+  is a typed :class:`~repro.errors.ServiceError` the loop turns into a
+  ``spool-shed`` back-off — the job stays leased and re-dispatches after
+  the disk recovers — never a shard crash-loop. A checkpoint-journal
+  append the disk refuses sheds the same way: the journaled progress
+  survives and the resumed attempt continues from it, instead of a
+  transient fault poisoning the job with a permanent failure.
 
 The worker's inner executor is serial: the *supervisor* provides process
 parallelism (N worker shards), so nesting a pool inside each shard would
@@ -45,7 +53,12 @@ from typing import Any
 
 import numpy as np
 
-from repro.errors import CheckpointError, JobDeadlineExceeded, SweepAborted
+from repro.errors import (
+    CheckpointError,
+    JobDeadlineExceeded,
+    ServiceError,
+    SweepAborted,
+)
 from repro.obs import trace as _trace
 from repro.obs.metrics import default_registry as _metrics
 from repro.parallel.executor import SerialExecutor
@@ -340,7 +353,15 @@ class Worker:
         do right now, sleep a poll interval before trying again".
         """
         self.heartbeat()
-        job = self.spool.claim(self.config.name)
+        try:
+            job = self.spool.claim(self.config.name)
+        except ServiceError:
+            # The spool could not append the lease event (disk fault or
+            # write breaker open: read-only mode). Nothing was claimed;
+            # shed typed and back off a poll interval instead of letting
+            # a sick disk crash-loop the shard through the supervisor's
+            # restart budget.
+            return self._shed("claim")
         if job is None:
             return False
         # Adopt the job's trace id for everything this attempt does: spans
@@ -348,6 +369,18 @@ class Worker:
         # submitter started, even when this is a re-dispatch after a crash.
         with _trace.trace_context(job.trace_id or job.id):
             return self._run_claimed(job)
+
+    def _shed(self, what: str) -> bool:
+        """Count a spool write the disk refused; report idle (back off).
+
+        The job (if any) stays leased: once its lease expires it
+        re-dispatches, and the checkpoint journal plus result store make
+        the re-execution idempotent — after the disk recovers, no work is
+        lost and none is duplicated.
+        """
+        self.events.append(f"spool-shed:{what}")
+        _metrics().counter("service.worker.spool_sheds").inc()
+        return False
 
     def _run_claimed(self, job: JobView) -> bool:
         self.events.append(f"claim:{job.id[:12]}")
@@ -362,7 +395,11 @@ class Worker:
             self.events.append(f"cached-result:{job.id[:12]}")
             _metrics().counter("service.jobs.result_reused").inc()
             _trace.annotate("job.result-reused", job_id=job.id)
-            self.spool.complete(job.id, self.config.name, cached, elapsed=0.0)
+            try:
+                self.spool.complete(job.id, self.config.name, cached,
+                                    elapsed=0.0)
+            except ServiceError:
+                return self._shed(job.id[:12])
             return True
         try:
             with _trace.span("job.execute", job_id=job.id,
@@ -377,18 +414,31 @@ class Worker:
             self.events.append(f"conflict:{job.id[:12]}")
             _metrics().counter("service.jobs.lock_conflicts").inc()
             return False
+        except CheckpointError:
+            # A journal append the disk refused: the disk is sick, not the
+            # job. No terminal event — progress up to the failed append is
+            # journaled, the lease expires, and a later attempt resumes
+            # from the journal once the disk heals. Failing the job here
+            # would let a transient fault poison deterministic work.
+            return self._shed(job.id[:12])
         except Exception as exc:
             # Deliberately broad: one bad job must not take the shard (and,
             # via restart-budget exhaustion, the whole service) down with
             # it; record it failed and keep serving.
             elapsed = time.monotonic() - started
             self.events.append(f"fail:{job.id[:12]}:{type(exc).__name__}")
-            self.spool.fail(job.id, self.config.name,
-                            type(exc).__name__, str(exc), elapsed)
+            try:
+                self.spool.fail(job.id, self.config.name,
+                                type(exc).__name__, str(exc), elapsed)
+            except ServiceError:
+                return self._shed(job.id[:12])
             return True
         elapsed = time.monotonic() - started
+        try:
+            self.spool.complete(job.id, self.config.name, result, elapsed)
+        except ServiceError:
+            return self._shed(job.id[:12])
         self.events.append(f"done:{job.id[:12]}")
-        self.spool.complete(job.id, self.config.name, result, elapsed)
         return True
 
     def run(self) -> int:

@@ -165,3 +165,28 @@ class TestRecordFromSpool:
     def test_missing_spool_raises_typed(self, tmp_path):
         with pytest.raises(ServiceError):
             requests_from_spool(tmp_path / "absent")
+
+    def test_recording_survives_compaction(self, tmp_path):
+        """Folded history must still record: snapshot jobs come back as
+        synthetic submits ahead of the live tail, one per job."""
+        from repro.service import compact
+
+        spool = JobSpool.ensure(tmp_path / "spool")
+        specs = [JobSpec(kind="sweep", app="gcc", start=0, stop=4),
+                 JobSpec(kind="sweep", app="mcf", start=4, stop=8)]
+        jids = [spool.submit(s) for s in specs]
+        spool.claim("w0", now=100.0)
+        spool.complete(jids[0], "w0", {"ok": True}, elapsed=0.1)
+        before, _ = requests_from_spool(spool.root)
+        compact(spool)
+        after, malformed = requests_from_spool(spool.root)
+        assert malformed == 0
+        assert [r.spec for r in after] == specs
+        assert [r.key for r in after] == [r.key for r in before]
+        assert [r.t_offset for r in after] == [r.t_offset for r in before]
+        # Live traffic after the compaction keeps appending to the record.
+        extra = JobSpec(kind="sweep", app="gzip", start=0, stop=2)
+        spool.submit(extra)
+        final, malformed = requests_from_spool(spool.root)
+        assert malformed == 0
+        assert [r.spec for r in final] == specs + [extra]

@@ -1,0 +1,177 @@
+"""Tests for the seeded disk-fault shim and the layers wired through it."""
+
+import errno
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.robust import DiskFaultInjector, SimulatedCrash
+from repro.robust import diskchaos
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_injector():
+    yield
+    diskchaos.uninstall()
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_faults(self):
+        # Only the failing calls matter: a surviving on_write would need a
+        # real fd, so keep the rates the only source of outcomes we record.
+        inj_a = DiskFaultInjector(seed=7, p_enospc=1.0)
+        inj_b = DiskFaultInjector(seed=7, p_enospc=1.0)
+        for inj in (inj_a, inj_b):
+            for _ in range(5):
+                with pytest.raises(OSError):
+                    inj.on_write(-1, b"xy")
+        assert inj_a.fired == inj_b.fired == {"enospc": 5}
+        assert inj_a.calls == inj_b.calls == {"write": 5}
+
+    def test_streams_are_independent_per_op(self):
+        inj = DiskFaultInjector(seed=3)
+        rolls_w = [inj._roll("write", i) for i in range(20)]
+        rolls_f = [inj._roll("fsync", i) for i in range(20)]
+        assert rolls_w != rolls_f
+        assert rolls_w == [DiskFaultInjector(seed=3)._roll("write", i)
+                           for i in range(20)]
+
+
+class TestDeterministicFaults:
+    def test_enospc_at_exact_index(self, tmp_path):
+        fd = os.open(tmp_path / "f", os.O_WRONLY | os.O_CREAT)
+        try:
+            with diskchaos.injected(DiskFaultInjector(enospc_at=(1,))) as inj:
+                assert diskchaos.fs_write(fd, b"aa") == 2
+                with pytest.raises(OSError) as ei:
+                    diskchaos.fs_write(fd, b"bb")
+                assert ei.value.errno == errno.ENOSPC
+                assert diskchaos.fs_write(fd, b"cc") == 2
+                assert inj.calls == {"write": 3}
+                assert inj.fired == {"enospc": 1}
+        finally:
+            os.close(fd)
+        assert (tmp_path / "f").read_bytes() == b"aacc"
+
+    def test_short_write_persists_prefix(self, tmp_path):
+        fd = os.open(tmp_path / "f", os.O_WRONLY | os.O_CREAT)
+        try:
+            with diskchaos.injected(DiskFaultInjector(short_write_at=(0,))):
+                assert diskchaos.fs_write(fd, b"abcdef") == 3
+        finally:
+            os.close(fd)
+        assert (tmp_path / "f").read_bytes() == b"abc"
+
+    def test_torn_crash_writes_prefix_then_raises_base_exception(self, tmp_path):
+        fd = os.open(tmp_path / "f", os.O_WRONLY | os.O_CREAT)
+        try:
+            with diskchaos.injected(DiskFaultInjector(torn_crash_at=(0,))):
+                with pytest.raises(SimulatedCrash):
+                    try:
+                        diskchaos.fs_write(fd, b"abcdef")
+                    except Exception:  # must NOT swallow the crash
+                        pytest.fail("SimulatedCrash caught by except Exception")
+        finally:
+            os.close(fd)
+        assert (tmp_path / "f").read_bytes() == b"abc"  # the tear landed
+
+    def test_crash_after_fsync_is_durable_first(self, tmp_path):
+        fd = os.open(tmp_path / "f", os.O_WRONLY | os.O_CREAT)
+        try:
+            os.write(fd, b"data")
+            with diskchaos.injected(
+                    DiskFaultInjector(crash_after_fsync_at=(0,))):
+                with pytest.raises(SimulatedCrash):
+                    diskchaos.fs_fsync(fd)
+        finally:
+            os.close(fd)
+        assert (tmp_path / "f").read_bytes() == b"data"
+
+    def test_eio_fsync(self, tmp_path):
+        fd = os.open(tmp_path / "f", os.O_WRONLY | os.O_CREAT)
+        try:
+            with diskchaos.injected(DiskFaultInjector(eio_fsync_at=(0,))):
+                with pytest.raises(OSError) as ei:
+                    diskchaos.fs_fsync(fd)
+                assert ei.value.errno == errno.EIO
+        finally:
+            os.close(fd)
+
+    def test_rename_fault_leaves_both_paths(self, tmp_path):
+        src, dst = tmp_path / "src", tmp_path / "dst"
+        src.write_text("new")
+        dst.write_text("old")
+        with diskchaos.injected(DiskFaultInjector(rename_at=(0,))):
+            with pytest.raises(OSError):
+                diskchaos.fs_replace(src, dst)
+        assert dst.read_text() == "old"
+        assert src.read_text() == "new"
+        diskchaos.fs_replace(src, dst)  # passthrough once uninstalled
+        assert dst.read_text() == "new"
+
+    def test_injected_scope_always_uninstalls(self):
+        with pytest.raises(RuntimeError):
+            with diskchaos.injected(DiskFaultInjector()):
+                assert diskchaos.active() is not None
+                raise RuntimeError("boom")
+        assert diskchaos.active() is None
+
+    def test_file_write_short_raises_after_prefix(self, tmp_path):
+        path = tmp_path / "f"
+        with open(path, "w", encoding="utf-8") as fh:
+            with diskchaos.injected(DiskFaultInjector(short_write_at=(0,))):
+                with pytest.raises(OSError):
+                    diskchaos.fs_file_write(fh, "abcdef")
+        assert path.read_text() == "abc"
+
+
+class TestDiskStoreUnderFaults:
+    def test_put_failure_is_contained_and_counted(self, tmp_path):
+        from repro.cache.disk import DiskStore
+
+        store = DiskStore(tmp_path / "cache")
+        with diskchaos.injected(DiskFaultInjector(eio_write_at=(0,))):
+            assert store.put("k", {"v": 1}) is False
+        assert store.io_errors == 1
+        assert store.get("k", default="absent") == "absent"
+        assert store.put("k", {"v": 1}) is True
+        assert store.get("k") == {"v": 1}
+
+    def test_rename_fault_keeps_old_value_visible(self, tmp_path):
+        from repro.cache.disk import DiskStore
+
+        store = DiskStore(tmp_path / "cache")
+        assert store.put("k", "old") is True
+        with diskchaos.injected(DiskFaultInjector(rename_at=(0,))):
+            assert store.put("k", "new") is False
+        assert store.get("k") == "old"  # atomic swap never half-applies
+
+    def test_fsync_fault_fails_the_put(self, tmp_path):
+        from repro.cache.disk import DiskStore
+
+        store = DiskStore(tmp_path / "cache")
+        with diskchaos.injected(DiskFaultInjector(eio_fsync_at=(0,))):
+            assert store.put("k", "v") is False
+        assert store.get("k", default="absent") == "absent"
+
+
+class TestJournalUnderFaults:
+    def test_append_failure_is_typed(self, tmp_path):
+        from repro.parallel.resilient import CheckpointJournal
+
+        journal = CheckpointJournal(tmp_path / "j.jsonl")
+        try:
+            journal.record("fp0", {"ok": 1})
+            with diskchaos.injected(DiskFaultInjector(enospc_at=(0,))):
+                with pytest.raises(CheckpointError,
+                                   match="journal append failed"):
+                    journal.record("fp1", {"ok": 2})
+        finally:
+            journal.close()
+        # The surviving journal still replays its intact records.
+        resumed = CheckpointJournal(tmp_path / "j.jsonl", resume=True)
+        try:
+            assert resumed.completed() == {"fp0": {"ok": 1}}
+        finally:
+            resumed.close()

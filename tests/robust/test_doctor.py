@@ -115,6 +115,66 @@ class TestServiceProbes:
         assert "spool unreadable" in check.detail
 
 
+class TestSpoolBloatProbe:
+    def probe(self):
+        return next(c for c in run_doctor().checks if c.name == "spool-bloat")
+
+    def test_unset_spool_dir_is_fine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SPOOL_DIR", raising=False)
+        check = self.probe()
+        assert check.passed
+        assert "no spool" in check.detail
+
+    def test_lean_spool_passes_with_detail(self, tmp_path, monkeypatch):
+        from repro.service import JobSpec, JobSpool
+
+        root = tmp_path / "spool"
+        JobSpool.ensure(root).submit(JobSpec(kind="sweep", app="gcc", stop=4))
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = self.probe()
+        assert check.passed
+        assert "1 event line(s)" in check.detail
+        assert "never compacted" in check.detail
+
+    def test_compacted_spool_reports_generation(self, tmp_path, monkeypatch):
+        from repro.service import JobSpec, JobSpool, compact
+
+        root = tmp_path / "spool"
+        spool = JobSpool.ensure(root)
+        spool.submit(JobSpec(kind="sweep", app="gcc", stop=4))
+        compact(spool)
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = self.probe()
+        assert check.passed
+        assert "snapshot g1" in check.detail
+
+    def test_bloated_log_fails_with_the_fix(self, tmp_path, monkeypatch):
+        import repro.robust.doctor as doctor_mod
+        from repro.service import JobSpec, JobSpool
+
+        root = tmp_path / "spool"
+        spool = JobSpool.ensure(root)
+        for i in range(3):
+            spool.submit(JobSpec(kind="sweep", app="gcc", start=i, stop=i + 1))
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        monkeypatch.setattr(doctor_mod, "_SPOOL_BLOAT_EVENTS", 2)
+        check = self.probe()
+        assert not check.passed
+        assert "repro spool compact" in check.detail
+
+    def test_unreadable_snapshot_fails_pointing_at_verify(
+            self, tmp_path, monkeypatch):
+        from repro.service import JobSpool
+
+        root = tmp_path / "spool"
+        JobSpool.ensure(root)
+        (root / "spoolsnap.json").write_text("not json")
+        monkeypatch.setenv("REPRO_SPOOL_DIR", str(root))
+        check = self.probe()
+        assert not check.passed
+        assert "repro spool verify" in check.detail
+
+
 class TestObservabilityProbes:
     def test_probes_present_and_healthy_when_unconfigured(self, monkeypatch):
         monkeypatch.delenv("REPRO_SPOOL_DIR", raising=False)

@@ -139,6 +139,48 @@ class TestLockConflict:
         assert spool.jobs()[jid].state == "done"
 
 
+class TestSpoolShed:
+    def test_claim_failure_sheds_instead_of_crashing(self, tmp_path):
+        """A sick spool disk (append refused) must make the worker back
+        off typed — not crash the shard, not wedge the loop."""
+        from repro.robust import DiskFaultInjector, diskchaos
+
+        spool = JobSpool.ensure(tmp_path / "s")
+        jid = spool.submit(sweep_spec(stop=2))
+        w = Worker(WorkerConfig(root=str(tmp_path / "s"), name="w1"),
+                   spool=spool)
+        with diskchaos.injected(DiskFaultInjector(eio_write_at=(0,))):
+            assert w.run_once() is False  # lease append failed: shed
+        assert "spool-shed:claim" in w.events
+        assert spool.jobs()[jid].state == "pending"  # still claimable
+        assert w.run_once() is True  # healthy disk again: job runs
+        assert spool.jobs()[jid].state == "done"
+
+    def test_checkpoint_append_failure_sheds_not_fails(self, tmp_path):
+        """A journal append the disk refuses must not poison the job with a
+        permanent CheckpointError failure: shed, expire, resume."""
+        from repro.robust import DiskFaultInjector, diskchaos
+
+        spool = JobSpool.ensure(tmp_path / "s", SpoolConfig(lease_ttl=0.1))
+        jid = spool.submit(sweep_spec(stop=2))
+        w = Worker(WorkerConfig(root=str(tmp_path / "s"), name="w1"),
+                   spool=spool)
+        # Let the claim land, then refuse every later append (renews are
+        # best-effort; the first journal record raises CheckpointError).
+        with diskchaos.injected(
+                DiskFaultInjector(enospc_at=tuple(range(1, 64)))):
+            assert w.run_once() is False
+        assert f"spool-shed:{jid[:12]}" in w.events
+        assert not any(e.startswith("fail:") for e in w.events)
+        assert spool.jobs(now=1e12)[jid].state == "pending"  # no terminal
+        time.sleep(0.11)  # the shed attempt's lease expires
+        assert w.run_once() is True
+        view = spool.jobs()[jid]
+        assert view.state == "done"
+        assert np.array_equal(np.asarray(spool.result(jid)["cycles"]),
+                              oracle(stop=2))
+
+
 class TestDeadlines:
     def test_expired_deadline_fails_typed(self, tmp_path):
         root = str(tmp_path / "s")

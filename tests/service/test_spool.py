@@ -5,7 +5,11 @@ import time
 
 import pytest
 
-from repro.errors import ServiceError, ServiceOverloadError
+from repro.errors import CircuitOpenError, ServiceError, ServiceOverloadError
+from repro.obs.metrics import default_registry
+from repro.robust import DiskFaultInjector, SimulatedCrash
+from repro.robust import diskchaos
+from repro.robust.breaker import CircuitBreaker
 from repro.service import JobSpec, JobSpool, SpoolConfig, job_id
 
 
@@ -249,3 +253,111 @@ class TestCoordination:
         b = spool.checkpoint_path("bbbb")
         assert a != b
         assert a.parent == b.parent
+
+    def test_malformed_heartbeat_is_skipped_and_counted(self, spool):
+        """Torn/garbage heartbeat files feed the shared malformed-lines
+        ledger instead of being silently swallowed."""
+        spool.heartbeat("w0")
+        hb_dir = spool.root / "hb"
+        (hb_dir / "torn.json").write_text('{"pid": 12')
+        (hb_dir / "scalar.json").write_text('42\n')
+        counter = default_registry().counter("obs.reader.malformed_lines")
+        before = counter.value
+        beats = spool.heartbeats()
+        assert set(beats) == {"w0"}
+        assert counter.value == before + 2
+
+
+class TestDiskFaults:
+    """The _append short-write resume loop and typed write degradation."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_shim(self):
+        yield
+        diskchaos.uninstall()
+
+    def test_short_write_is_resumed_not_torn(self, spool):
+        with diskchaos.injected(DiskFaultInjector(short_write_at=(0,))) as inj:
+            jid = spool.submit(spec())
+        assert inj.fired == {"short_write": 1}
+        assert inj.calls["write"] == 2  # prefix landed, remainder resumed
+        lines = spool.log_path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["id"] == jid  # one intact record
+        assert spool.jobs()[jid].state == "pending"
+
+    def test_repeated_short_writes_still_drain(self, spool):
+        # Every call is short until the tail is a single byte; the loop
+        # must keep resuming until the record is fully on disk.
+        with diskchaos.injected(DiskFaultInjector(p_short_write=1.0)):
+            jid = spool.submit(spec())
+        assert json.loads(spool.log_path.read_text())["id"] == jid
+
+    def test_enospc_fails_typed_and_nothing_lands(self, spool):
+        with diskchaos.injected(DiskFaultInjector(enospc_at=(0,))):
+            with pytest.raises(ServiceError, match="append failed"):
+                spool.submit(spec())
+        assert spool.jobs() == {}
+        jid = spool.submit(spec())  # disk healthy again
+        assert spool.jobs()[jid].state == "pending"
+
+    def test_enospc_mid_record_leaves_repairable_tear(self, spool):
+        """Prefix lands, then the disk fills: the fragment must read as a
+        torn tail and the next append must truncate it away."""
+        counter = default_registry().counter("service.spool.torn_repaired")
+        before = counter.value
+        with diskchaos.injected(
+                DiskFaultInjector(short_write_at=(0,), enospc_at=(1,))):
+            with pytest.raises(ServiceError, match="append failed"):
+                spool.submit(spec(start=0, stop=1))
+        assert not spool.log_path.read_text().endswith("\n")  # torn
+        assert spool.jobs() == {}  # tolerated on read
+        other = spool.submit(spec(start=1, stop=2))  # repairs, then appends
+        assert counter.value == before + 1
+        views = spool.jobs()
+        assert set(views) == {other}
+        assert all(line.strip() for line in
+                   spool.log_path.read_text().splitlines())
+
+    def test_torn_crash_mid_append_recovers_on_reopen(self, spool, tmp_path):
+        with diskchaos.injected(DiskFaultInjector(torn_crash_at=(0,))):
+            with pytest.raises(SimulatedCrash):
+                spool.submit(spec())
+        survivor = JobSpool.open(tmp_path / "spool")
+        assert survivor.jobs() == {}  # unacknowledged submit: not a job
+        jid = survivor.submit(spec())
+        assert survivor.jobs()[jid].state == "pending"
+
+    def test_fsync_failure_is_a_failed_append(self, spool):
+        with diskchaos.injected(DiskFaultInjector(eio_fsync_at=(0,))):
+            with pytest.raises(ServiceError, match="append failed"):
+                spool.submit(spec())
+
+    def test_write_breaker_opens_read_only_mode(self, tmp_path):
+        spool = JobSpool(
+            tmp_path / "s",
+            write_breaker=CircuitBreaker("spool-write:test",
+                                         failure_threshold=3,
+                                         reset_timeout=0.05))
+        with diskchaos.injected(DiskFaultInjector(eio_write_at=(0, 1, 2))):
+            for i in range(3):
+                with pytest.raises(ServiceError, match="append failed"):
+                    spool.submit(spec(start=i, stop=i + 1))
+            # Breaker open: shed without touching the sick disk at all.
+            with pytest.raises(CircuitOpenError, match="read-only mode"):
+                spool.submit(spec(start=9, stop=10))
+        assert isinstance(CircuitOpenError("x"), ServiceError)  # typed shed
+        assert spool.jobs() == {}  # reads still work in read-only mode
+        time.sleep(0.06)  # reset timeout: half-open probe admitted
+        jid = spool.submit(spec(start=9, stop=10))
+        assert spool.jobs()[jid].state == "pending"
+        assert spool.write_breaker.state == "closed"
+
+    def test_heartbeat_write_failure_is_counted_not_fatal(self, spool):
+        counter = default_registry().counter(
+            "service.heartbeat.write_failures")
+        before = counter.value
+        with diskchaos.injected(DiskFaultInjector(rename_at=(0,))):
+            spool.heartbeat("w0")  # must not raise
+        assert counter.value == before + 1
+        assert spool.heartbeats() == {}

@@ -149,6 +149,43 @@ class TestSlotPolicy:
 
 
 @pytest.mark.slow
+class TestAutoCompaction:
+    """The supervision loop's compaction hook, no processes spawned."""
+
+    def _sup(self, tmp_path, **kw):
+        kw.setdefault("workers", 1)
+        return WorkerSupervisor(ServiceConfig(root=str(tmp_path / "s"), **kw))
+
+    def test_below_threshold_is_a_noop(self, tmp_path):
+        sup = self._sup(tmp_path)  # default 4 MiB / 4096 events
+        sup.spool.submit(sweep_spec())
+        sup.maybe_compact()
+        assert not any(e.startswith("compacted:") for e in sup.events)
+        assert not sup.spool.snapshot_path.exists()
+
+    def test_past_threshold_compacts_and_reports(self, tmp_path):
+        sup = self._sup(tmp_path, compact_max_log_bytes=1)
+        sup.spool.submit(sweep_spec())
+        sup.maybe_compact()
+        assert any(e.startswith("compacted:g1:") for e in sup.events)
+        assert sup.spool.snapshot_path.exists()
+        status = sup.status_snapshot()
+        assert status["compaction"]["generation"] == 1
+
+    def test_compaction_failure_degrades_not_dies(self, tmp_path):
+        sup = self._sup(tmp_path, compact_max_log_bytes=1)
+        sup.spool.submit(sweep_spec())
+        sup.spool.snapshot_path.write_text("not json")  # unreadable snapshot
+        sup.maybe_compact()  # must not raise
+        assert any(e.startswith("compact-failed:") for e in sup.events)
+
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="compact_max_log_bytes"):
+            ServiceConfig(root=str(tmp_path / "s"), compact_max_log_bytes=0)
+        with pytest.raises(ValueError, match="compact_check_interval"):
+            ServiceConfig(root=str(tmp_path / "s"), compact_check_interval=0)
+
+
 class TestSupervisedService:
     """End-to-end drills with real worker processes."""
 

@@ -405,3 +405,91 @@ class TestLoadgenCLI:
         rc = main(["loadgen", "run", "--target", "service"])
         assert rc == 1
         assert "--spool" in capsys.readouterr().err
+
+
+class TestSpoolCommands:
+    """repro spool compact/verify against a populated spool directory."""
+
+    def _populated(self, tmp_path):
+        from repro.service import JobSpec, JobSpool
+
+        spool = JobSpool.ensure(tmp_path / "s")
+        done = spool.submit(JobSpec(kind="sweep", app="gcc", stop=4,
+                                    n_instructions=1_000_000))
+        spool.claim("w0", now=100.0)
+        spool.complete(done, "w0", {"ok": True}, elapsed=0.1)
+        pending = spool.submit(JobSpec(kind="sweep", app="mcf", stop=4,
+                                       n_instructions=1_000_000))
+        return spool, done, pending
+
+    def test_compact_then_verify_roundtrip(self, tmp_path, capsys):
+        import json
+
+        spool, done, pending = self._populated(tmp_path)
+        assert main(["spool", "compact", "--spool", str(spool.root),
+                     "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["generation"] == 1
+        assert stats["n_jobs"] == 2
+        assert main(["spool", "verify", "--spool", str(spool.root)]) == 0
+        out = capsys.readouterr().out
+        assert "spool OK (generation 1)" in out
+
+    def test_compact_human_output(self, tmp_path, capsys):
+        spool, *_ = self._populated(tmp_path)
+        assert main(["spool", "compact", "--spool", str(spool.root)]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1" in out and "folded" in out
+
+    def test_verify_report_file_and_json(self, tmp_path, capsys):
+        import json
+
+        spool, *_ = self._populated(tmp_path)
+        report_path = tmp_path / "reports" / "verify.json"
+        assert main(["spool", "verify", "--spool", str(spool.root),
+                     "--json", "--out", str(report_path)]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        saved = json.loads(report_path.read_text())
+        assert printed["ok"] and saved["ok"]
+        assert saved["schema"] == "repro-spoolverify/1"
+
+    def test_verify_failure_exits_nonzero(self, tmp_path, capsys):
+        from repro.service import compact
+
+        spool, *_ = self._populated(tmp_path)
+        compact(spool)
+        (spool.root / "spoolsnap.json").unlink()  # lose the snapshot
+        assert main(["spool", "verify", "--spool", str(spool.root)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_verify_expect_jobs_oracle(self, tmp_path, capsys):
+        import json
+
+        spool, done, pending = self._populated(tmp_path)
+        oracle = tmp_path / "expect.json"
+        oracle.write_text(json.dumps({done: "done", pending: "pending"}))
+        assert main(["spool", "verify", "--spool", str(spool.root),
+                     "--expect-jobs", str(oracle)]) == 0
+        capsys.readouterr()
+        oracle.write_text(json.dumps({done: "failed"}))
+        assert main(["spool", "verify", "--spool", str(spool.root),
+                     "--expect-jobs", str(oracle)]) == 1
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_missing_spool_is_typed_error(self, tmp_path, capsys):
+        from repro.errors import ServiceError
+
+        rc = main(["spool", "verify", "--spool", str(tmp_path / "absent")])
+        assert rc == ServiceError.exit_code == 11
+        assert "no spool directory" in capsys.readouterr().err
+
+    def test_serve_compaction_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--spool", "s", "--no-auto-compact",
+             "--compact-after-bytes", "1024", "--compact-after-events", "9"])
+        assert args.no_auto_compact
+        assert args.compact_after_bytes == 1024
+        assert args.compact_after_events == 9
+        defaults = build_parser().parse_args(["serve", "--spool", "s"])
+        assert not defaults.no_auto_compact
+        assert defaults.compact_after_bytes == 4 * 1024 * 1024
